@@ -1,0 +1,11 @@
+"""Ablation A4: dynamic coreness maintenance vs recompute per update."""
+
+from repro.bench import workloads
+from conftest import run_once
+
+
+def bench_ablation_dynamic(benchmark, record_result):
+    table = run_once(benchmark, workloads.ablation_dynamic)
+    record_result("ablation_dynamic", table.render())
+    speedup = float(table.rows[0][4][:-1])
+    assert speedup > 1.0

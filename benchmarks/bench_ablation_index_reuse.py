@@ -1,0 +1,11 @@
+"""Ablation A3: sharing the Algorithm 1 index across metrics."""
+
+from repro.bench import workloads
+from conftest import run_once
+
+
+def bench_ablation_index_reuse(benchmark, record_result):
+    table = run_once(benchmark, workloads.ablation_index_reuse)
+    record_result("ablation_index_reuse", table.render())
+    for row in table.rows:
+        assert float(row[3][:-1]) >= 1.0

@@ -1,0 +1,12 @@
+"""Ablation A1: position tags vs neighbourhood rescans in the score pass."""
+
+from repro.bench import workloads
+from conftest import run_once
+
+
+def bench_ablation_ordering(benchmark, record_result):
+    table = run_once(benchmark, workloads.ablation_ordering)
+    record_result("ablation_ordering", table.render())
+    # Tags should win on every dataset (O(n) vs O(m) python loop).
+    for row in table.rows:
+        assert row[3].endswith("x") and float(row[3][:-1]) > 1.0

@@ -1,0 +1,18 @@
+"""Extension E3: best-core communities vs detection algorithms."""
+
+from repro.bench import workloads
+from conftest import run_once
+
+
+def bench_extension_communities(benchmark, record_result):
+    table = run_once(benchmark, workloads.extension_communities)
+    record_result("extension_communities", table.render())
+    assert len(table.rows) == 9
+    # Louvain's multi-community partition modularity should dominate the
+    # 2-way best-core split on every dataset.
+    by_dataset = {}
+    for row in table.rows:
+        by_dataset.setdefault(row[0], {})[row[1].split(" ")[0]] = float(row[2])
+    for key, methods in by_dataset.items():
+        core_mod = next(v for k, v in methods.items() if k.startswith("best"))
+        assert methods["Louvain"] >= core_mod - 1e-9, key

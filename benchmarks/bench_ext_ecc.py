@@ -1,0 +1,13 @@
+"""Extension E5: best k over k-edge-connected components."""
+
+from repro.bench import workloads
+from conftest import run_once
+
+
+def bench_extension_ecc(benchmark, record_result):
+    table = run_once(benchmark, workloads.extension_ecc)
+    record_result("extension_ecc", table.render())
+    assert len(table.rows) == 3
+    for row in table.rows:
+        # Edge connectivity is bounded by coreness.
+        assert int(row[1]) <= int(row[2])

@@ -1,0 +1,15 @@
+"""Extension E4: influential spreaders — coreness vs degree vs random."""
+
+from repro.bench import workloads
+from conftest import run_once
+
+
+def bench_extension_spreaders(benchmark, record_result):
+    table = run_once(benchmark, workloads.extension_spreaders)
+    record_result("extension_spreaders", table.render())
+    assert len(table.rows) == 3
+    for row in table.rows:
+        core = float(row[1].rstrip("%"))
+        rand = float(row[3].rstrip("%"))
+        # The structural predictors must clearly beat chance (Kitsak shape).
+        assert core > rand, row

@@ -1,0 +1,10 @@
+"""Extension E1: best k for k-truss sets (paper Section VI-B)."""
+
+from repro.bench import workloads
+from conftest import run_once
+
+
+def bench_extension_truss(benchmark, record_result):
+    table = run_once(benchmark, workloads.extension_truss)
+    record_result("extension_truss", table.render())
+    assert len(table.rows) == 3

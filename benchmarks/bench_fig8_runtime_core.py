@@ -1,0 +1,12 @@
+"""Figure 8: runtime of finding the best single k-core, Baseline vs Optimal."""
+
+from repro.bench import workloads
+from conftest import run_once
+
+
+def bench_fig8(benchmark, record_result):
+    table = run_once(benchmark, workloads.fig8_runtime_core)
+    record_result("fig8_runtime_core", table.render())
+    assert len(table.rows) == 40
+    finished = [row for row in table.rows if row[2] != "DNF"]
+    assert finished

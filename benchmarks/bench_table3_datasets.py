@@ -1,0 +1,10 @@
+"""Table III: dataset statistics of the 10 stand-ins."""
+
+from repro.bench import workloads
+from conftest import run_once
+
+
+def bench_table3(benchmark, record_result):
+    table = run_once(benchmark, workloads.table3_dataset_stats)
+    record_result("table3_datasets", table.render())
+    assert len(table.rows) == 10

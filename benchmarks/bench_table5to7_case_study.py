@@ -1,0 +1,21 @@
+"""Tables V-VII: the DBLP case study (two planted communities)."""
+
+from repro.bench import workloads
+from conftest import run_once
+
+
+def bench_case_study(benchmark, record_result):
+    t5, t6, t7 = run_once(benchmark, workloads.tables5to7_case_study)
+    record_result(
+        "table5to7_case_study",
+        "\n\n".join([t5.render(), t6.render(), t7.render()]),
+    )
+    # Community A: the fully collaborating lab (18 members, a 17-core)
+    # wins the cohesiveness metrics with density/cc = 1.
+    scores = {row[0]: row[1:] for row in t7.rows}
+    ad_a, den_a, cc_a, cr_a, con_a = scores["A"]
+    ad_b, den_b, cc_b, cr_b, con_b = scores["B"]
+    assert float(den_a) == 1.0 and float(cc_a) == 1.0
+    # Community B: the isolated group maxes the boundary metrics.
+    assert float(cr_b) == 1.0 and float(con_b) == 1.0
+    assert float(ad_a) > float(ad_b)

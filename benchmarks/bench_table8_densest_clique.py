@@ -1,0 +1,14 @@
+"""Table VIII: Opt-D vs CoreApp on densest subgraph; MC containment."""
+
+from repro.bench import workloads
+from conftest import run_once
+
+
+def bench_table8(benchmark, record_result):
+    table = run_once(benchmark, workloads.table8_densest_clique)
+    record_result("table8_densest_clique", table.render())
+    assert len(table.rows) == 10
+    # Paper shape: Opt-D's density is never worse than CoreApp's (it scans
+    # a superset of CoreApp's candidates).
+    for row in table.rows:
+        assert float(row[3]) >= float(row[1]) - 1e-9

@@ -1,0 +1,19 @@
+"""Table IX: Opt-SC hit rates for size-constrained k-core queries."""
+
+from repro.bench import workloads
+from conftest import run_once
+
+
+def bench_table9(benchmark, record_result):
+    table = run_once(benchmark, workloads.table9_sized_core)
+    record_result("table9_sized_core", table.render())
+    assert len(table.rows) >= 3
+
+    def rate(cell):
+        return None if cell == "/" else float(cell.rstrip("%")) / 100
+
+    # Paper shape: within the deepest-coreness row, easier (smaller) k
+    # should hit at least as often as the hardest k in that row.
+    last = table.rows[-1]
+    rates = [rate(c) for c in last[1:] if rate(c) is not None]
+    assert rates and rates[0] >= rates[-1]

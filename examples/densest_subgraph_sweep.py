@@ -1,0 +1,54 @@
+"""Scenario: densest-subgraph discovery across solvers (paper Table VIII).
+
+Compares four solvers on a sweep of graphs:
+
+* ``opt_d``       — the paper's Opt-D (best single k-core by average degree),
+* ``core_app``    — the CoreApp comparator (Fang et al., PVLDB 2019),
+* ``greedy_peel`` — Charikar's 1/2-approximation,
+* ``exact``       — Goldberg's flow-based exact solver (small graphs only).
+
+Run:  python examples/densest_subgraph_sweep.py
+"""
+
+import time
+
+from repro.apps import core_app, densest_subgraph_exact, greedy_peel_densest, opt_d
+from repro.generators import gnm_random_graph, load_dataset, powerlaw_chung_lu
+
+
+def report(name, graph, include_exact):
+    print(f"\n{name}: n={graph.num_vertices}, m={graph.num_edges}")
+    solvers = [opt_d, core_app, greedy_peel_densest]
+    if include_exact:
+        solvers.append(densest_subgraph_exact)
+    rows = []
+    for solver in solvers:
+        start = time.perf_counter()
+        result = solver(graph)
+        elapsed = time.perf_counter() - start
+        rows.append((result.method, result.avg_degree, len(result.vertices), elapsed))
+    for method, davg, size, elapsed in rows:
+        print(f"  {method:10s} avg degree {davg:8.3f}  |V| {size:6d}  {elapsed * 1e3:8.1f} ms")
+    best_approx = max(r[1] for r in rows[:3])
+    if include_exact:
+        exact = rows[-1][1]
+        print(f"  approximation ratio of the best heuristic: {best_approx / exact:.3f}")
+
+
+def main() -> None:
+    # Small graphs where the exact solver is feasible.
+    report("uniform G(n, m)", gnm_random_graph(300, 1500, seed=1), include_exact=True)
+    report("power law", powerlaw_chung_lu(400, 8.0, seed=2), include_exact=True)
+
+    # Dataset stand-ins at full scale: heuristics only (the exact solver's
+    # flow network would be far too slow here — that is the point of Opt-D).
+    for key in ("AP", "D", "O"):
+        report(f"dataset {key}", load_dataset(key), include_exact=False)
+
+    print("\nShape to expect (paper Table VIII): Opt-D >= CoreApp on density,")
+    print("both within 2x of exact, with Opt-D's margin coming from scoring")
+    print("every connected core instead of whole k-core sets.")
+
+
+if __name__ == "__main__":
+    main()

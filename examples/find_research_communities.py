@@ -1,0 +1,57 @@
+"""Scenario: detect research communities in a co-authorship network.
+
+This mirrors the paper's DBLP case study (Section V-B, Tables V-VII): on a
+synthetic co-authorship network with two planted groups, different
+community metrics single out *different* best k-cores —
+
+* cohesiveness metrics (average degree, internal density, clustering
+  coefficient) find the fully collaborating lab, a K18 / 17-core;
+* boundary metrics (cut ratio, conductance) find the isolated group, a
+  9-core with no outside collaborations.
+
+Run:  python examples/find_research_communities.py
+"""
+
+from repro.core import best_single_kcore, build_core_forest, core_decomposition, order_vertices
+from repro.generators import coauthorship_graph
+
+
+def main() -> None:
+    net = coauthorship_graph(
+        num_background_authors=2000,
+        num_papers=2400,
+        num_topics=30,
+        authors_per_paper=(2, 5),
+        seed=2020,
+    )
+    graph = net.graph
+    print(f"co-authorship network: {graph!r}")
+    print(f"planted: an 18-member lab (K18) and an isolated 12-member group\n")
+
+    # Build the shared index once; every metric query reuses it.
+    decomp = core_decomposition(graph)
+    ordered = order_vertices(graph, decomp)
+    forest = build_core_forest(graph, decomp)
+
+    for metric in ("average_degree", "internal_density", "clustering_coefficient",
+                   "cut_ratio", "conductance"):
+        best = best_single_kcore(graph, metric, ordered=ordered, forest=forest)
+        members = sorted(net.labels[int(v)] for v in best.vertices)
+        kind = "?"
+        if set(best.vertices.tolist()) == set(net.lab.tolist()):
+            kind = "THE PLANTED LAB"
+        elif set(best.vertices.tolist()) == set(net.isolated_group.tolist()):
+            kind = "THE ISOLATED GROUP"
+        print(f"{metric}:")
+        print(f"  best single k-core: k = {best.k}, score = {best.score:.4f}, "
+              f"{len(members)} members  -> {kind}")
+        preview = ", ".join(members[:6]) + (" ..." if len(members) > 6 else "")
+        print(f"  members: {preview}\n")
+
+    print("Takeaway (paper Section V-B): no single metric is 'the' community")
+    print("quality — cohesion metrics and isolation metrics find different,")
+    print("equally real structures. Choose the metric that matches the question.")
+
+
+if __name__ == "__main__":
+    main()

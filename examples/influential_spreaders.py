@@ -1,0 +1,55 @@
+"""Scenario: find influential spreaders with coreness (Kitsak et al.).
+
+The paper's introduction motivates k-core analysis with, among others, the
+identification of influential spreaders in complex networks [34]: under
+epidemic dynamics near the threshold, a vertex's *coreness* locates the
+best spreaders better than its raw degree.  This example reproduces that
+comparison end-to-end on a collaboration-network stand-in:
+
+1. decompose the graph (coreness per vertex);
+2. estimate every sampled vertex's true spreading power by Monte-Carlo SIR;
+3. compare rankings: coreness vs degree vs random.
+
+Run:  python examples/influential_spreaders.py
+"""
+
+import numpy as np
+
+from repro.apps.spreading import spreader_precision, spreading_power
+from repro.core import core_decomposition
+from repro.generators import collaboration_cliques
+
+
+def main() -> None:
+    graph = collaboration_cliques(700, 360, (3, 8), seed=33)
+    decomp = core_decomposition(graph)
+    print(f"collaboration network: {graph!r}, kmax = {decomp.kmax}")
+
+    rng = np.random.default_rng(33)
+    sample = rng.choice(graph.num_vertices, size=120, replace=False)
+    print(f"estimating spreading power of {len(sample)} sampled vertices "
+          f"(SIR near the epidemic threshold)...")
+    power = spreading_power(graph, sample, trials=10, seed=33)
+
+    coreness = decomp.coreness[sample].astype(float)
+    degree = graph.degrees()[sample].astype(float)
+    random_scores = rng.random(len(sample))
+
+    print("\nprecision at recovering the top-15% spreaders:")
+    for name, scores in (("coreness", coreness), ("degree", degree), ("random", random_scores)):
+        precision = spreader_precision(scores, power, top_fraction=0.15)
+        print(f"  ranked by {name:9s}: {precision:.0%}")
+
+    # The deepest core's members, individually, are the strongest seeds.
+    deep = sample[np.argsort(-coreness)[:5]]
+    shallow = sample[np.argsort(coreness)[:5]]
+    print(f"\nmean outbreak from 5 deepest-core seeds:   "
+          f"{power[np.argsort(-coreness)[:5]].mean():.1f} vertices")
+    print(f"mean outbreak from 5 shallowest-core seeds: "
+          f"{power[np.argsort(coreness)[:5]].mean():.1f} vertices")
+    print("\nShape to expect (Kitsak et al. / paper [34]): structural rankings")
+    print("far above random, with coreness competitive with or ahead of degree.")
+
+
+if __name__ == "__main__":
+    main()

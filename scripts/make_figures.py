@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Render the paper's figures as standalone SVG images.
+
+Usage:
+    python scripts/make_figures.py [--out DIR]
+
+Writes fig5/fig6 (one SVG per dataset x metric family, as in the paper's
+sub-figures) plus a per-dataset score-profile gallery.
+"""
+
+import argparse
+import pathlib
+
+from repro.bench import workloads
+from repro.bench.svg import save_series_svg
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="figures", help="output directory")
+    args = parser.parse_args()
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    metric_names = {
+        "average_degree": "Average Degree", "cut_ratio": "Cut Ratio",
+        "conductance": "Conductance", "modularity": "Modularity",
+    }
+    for fig, fn in (("fig5", workloads.fig5_set_scores),
+                    ("fig6", workloads.fig6_core_scores)):
+        for metric, label in metric_names.items():
+            series = fn(metrics=(metric,))
+            path = out / f"{fig}_{metric}.svg"
+            title = ("Figure 5" if fig == "fig5" else "Figure 6") + f": {label}"
+            save_series_svg(series, path, title=title)
+            print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

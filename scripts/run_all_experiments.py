@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Regenerate every paper table/figure + ablations into one report.
+
+Usage:
+    python scripts/run_all_experiments.py [--out DIR] [--only name1,name2]
+    REPRO_BENCH_SCALE=2 python scripts/run_all_experiments.py   # bigger runs
+
+The benchmark suite (`pytest benchmarks/ --benchmark-only`) runs the same
+experiments with timing and shape assertions; this script is the
+no-dependencies way to produce a single readable REPORT.md.
+"""
+
+import argparse
+
+from repro.bench.report import EXPERIMENT_ORDER, run_all_experiments
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="report", help="output directory")
+    parser.add_argument(
+        "--only", default=None,
+        help="comma-separated subset of: " + ", ".join(e.name for e in EXPERIMENT_ORDER),
+    )
+    args = parser.parse_args()
+    only = tuple(args.only.split(",")) if args.only else None
+    report = run_all_experiments(args.out, only=only)
+    print(f"\nreport written to {report}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package or
+network access (``python setup.py develop`` / offline CI images), where PEP
+660 editable installs are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

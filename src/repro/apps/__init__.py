@@ -1,0 +1,31 @@
+"""Applications of the best-k machinery (paper Section V-D).
+
+* densest subgraph: Opt-D vs CoreApp vs exact (Table VIII),
+* maximum clique ground truth (Table VIII),
+* size-constrained k-core queries, Opt-SC (Table IX).
+"""
+
+from .clique import greedy_clique, is_clique, max_clique
+from .densest import (
+    DensestResult,
+    core_app,
+    densest_subgraph_exact,
+    greedy_peel_densest,
+    opt_d,
+)
+from .maxflow import FlowNetwork
+from .sized_core import OptSC, SizedCoreResult
+
+__all__ = [
+    "DensestResult",
+    "FlowNetwork",
+    "OptSC",
+    "SizedCoreResult",
+    "core_app",
+    "densest_subgraph_exact",
+    "greedy_clique",
+    "greedy_peel_densest",
+    "is_clique",
+    "max_clique",
+    "opt_d",
+]

@@ -1,0 +1,124 @@
+"""Influential-spreader identification via SIR simulation.
+
+One of the paper's headline application areas for k-core analysis (Kitsak
+et al., Nature Physics 2010 — cited as [34]): a vertex's *coreness*
+predicts its spreading power under epidemic dynamics better than its
+degree.  This module supplies the epidemic substrate and the comparison:
+
+* :func:`sir_trial` / :func:`sir_outbreak_size` — discrete-time SIR
+  (susceptible → infected → recovered) Monte-Carlo simulation;
+* :func:`spreading_power` — average outbreak size per seed vertex;
+* :func:`spreader_precision` — how well a ranking (by coreness, by degree,
+  ...) recovers the empirically best spreaders.
+
+Used by the E4 benchmark to reproduce the qualitative Kitsak result on the
+stand-in datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+__all__ = ["sir_trial", "sir_outbreak_size", "spreading_power", "spreader_precision"]
+
+
+def sir_trial(
+    graph: Graph, seed_vertex: int, beta: float, gamma: float, rng: np.random.Generator
+) -> int:
+    """One SIR run from a single seed; returns the outbreak size.
+
+    Discrete rounds: every infected vertex infects each susceptible
+    neighbour independently with probability ``beta``, then recovers with
+    probability ``gamma`` (recovered vertices stay immune).  The returned
+    size counts every vertex that was ever infected.
+    """
+    if not 0 <= beta <= 1 or not 0 < gamma <= 1:
+        raise ValueError("need 0 <= beta <= 1 and 0 < gamma <= 1")
+    n = graph.num_vertices
+    state = np.zeros(n, dtype=np.int8)  # 0=S, 1=I, 2=R
+    state[seed_vertex] = 1
+    infected = [seed_vertex]
+    ever = 1
+    indptr, indices = graph.indptr, graph.indices
+    while infected:
+        next_infected = []
+        for v in infected:
+            nbrs = indices[indptr[v]:indptr[v + 1]]
+            sus = nbrs[state[nbrs] == 0]
+            if len(sus):
+                hits = sus[rng.random(len(sus)) < beta]
+                for u in hits.tolist():
+                    if state[u] == 0:
+                        state[u] = 1
+                        next_infected.append(u)
+                        ever += 1
+        # Recovery after transmission, as in the standard discrete SIR.
+        still = []
+        for v in infected:
+            if rng.random() < gamma:
+                state[v] = 2
+            else:
+                still.append(v)
+        infected = still + next_infected
+    return ever
+
+
+def sir_outbreak_size(
+    graph: Graph, seed_vertex: int, *, beta: float, gamma: float = 1.0,
+    trials: int = 20, seed: int = 0,
+) -> float:
+    """Average outbreak size over ``trials`` independent SIR runs."""
+    rng = np.random.default_rng(seed)
+    total = 0
+    for _ in range(trials):
+        total += sir_trial(graph, seed_vertex, beta, gamma, rng)
+    return total / trials
+
+
+def spreading_power(
+    graph: Graph,
+    vertices: np.ndarray | None = None,
+    *,
+    beta: float | None = None,
+    gamma: float = 1.0,
+    trials: int = 10,
+    seed: int = 0,
+) -> np.ndarray:
+    """Average outbreak size for each vertex in ``vertices``.
+
+    ``beta`` defaults to ``1.5 / average degree`` — just above the epidemic
+    threshold, the regime where Kitsak et al. report coreness dominating
+    degree as a predictor.
+    """
+    if vertices is None:
+        vertices = np.arange(graph.num_vertices, dtype=np.int64)
+    if beta is None:
+        davg = 2 * graph.num_edges / max(graph.num_vertices, 1)
+        beta = min(1.0, 1.5 / max(davg, 1.0))
+    rng = np.random.default_rng(seed)
+    out = np.zeros(len(vertices), dtype=np.float64)
+    for i, v in enumerate(np.asarray(vertices, dtype=np.int64).tolist()):
+        total = 0
+        for _ in range(trials):
+            total += sir_trial(graph, v, beta, gamma, rng)
+        out[i] = total / trials
+    return out
+
+
+def spreader_precision(
+    ranking_scores: np.ndarray, true_power: np.ndarray, *, top_fraction: float = 0.1
+) -> float:
+    """Precision of a predictor at recovering the top spreaders.
+
+    Both arrays are per-vertex (aligned); the predictor's top
+    ``top_fraction`` is compared against the empirical top set, and the
+    overlap fraction returned.
+    """
+    if len(ranking_scores) != len(true_power):
+        raise ValueError("arrays must be aligned")
+    count = max(1, int(len(true_power) * top_fraction))
+    predicted = set(np.argsort(-ranking_scores, kind="stable")[:count].tolist())
+    actual = set(np.argsort(-true_power, kind="stable")[:count].tolist())
+    return len(predicted & actual) / count

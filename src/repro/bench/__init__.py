@@ -1,0 +1,25 @@
+"""Benchmark harness: timing, tables, figures and the experiment workloads."""
+
+from .figures import Series, render_series, save_series_csv, sparkline, windowed_average
+from .svg import render_series_svg, save_series_svg
+from .harness import RunRecord, TimeBudget, Timer, format_seconds, time_call
+from .tables import TextTable, format_value
+from . import workloads
+
+__all__ = [
+    "RunRecord",
+    "Series",
+    "TextTable",
+    "TimeBudget",
+    "Timer",
+    "format_seconds",
+    "format_value",
+    "render_series",
+    "render_series_svg",
+    "save_series_csv",
+    "save_series_svg",
+    "sparkline",
+    "time_call",
+    "windowed_average",
+    "workloads",
+]

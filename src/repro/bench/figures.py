@@ -1,0 +1,119 @@
+"""Series handling for the paper's figures (5, 6, 7, 8).
+
+The harness regenerates each figure as one or more named (x, y) series.
+Series render to compact text (for the benchmark logs) and export to CSV,
+so any plotting tool can redraw the paper's curves.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Series", "sparkline", "windowed_average", "render_series", "save_series_csv"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve."""
+
+    name: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError("xs and ys must have equal length")
+
+    @classmethod
+    def from_arrays(cls, name: str, xs, ys) -> "Series":
+        return cls(name, tuple(float(x) for x in xs), tuple(float(y) for y in ys))
+
+    def summary(self) -> str:
+        """One-line shape summary: extremes and the argmax."""
+        finite = [(x, y) for x, y in zip(self.xs, self.ys) if not math.isnan(y)]
+        if not finite:
+            return f"{self.name}: empty"
+        best_x, best_y = max(finite, key=lambda p: p[1])
+        lo = min(y for _, y in finite)
+        return (
+            f"{self.name}: {len(finite)} points, "
+            f"max {best_y:.4g} at x={best_x:g}, min {lo:.4g}"
+        )
+
+
+def windowed_average(values: Sequence[float], window: int) -> np.ndarray:
+    """Average consecutive windows (the paper smooths Figure 6 this way:
+    every 20 consecutive k-cores on LiveJournal, every 5 on Orkut and
+    FriendSter)."""
+    if window < 1:
+        raise ValueError("window must be positive")
+    arr = np.asarray(values, dtype=np.float64)
+    if len(arr) == 0:
+        return arr
+    pad = (-len(arr)) % window
+    if pad:
+        arr = np.concatenate([arr, np.full(pad, np.nan)])
+    return np.nanmean(arr.reshape(-1, window), axis=1)
+
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, width: int = 60) -> str:
+    """Render a curve as a unicode sparkline (nan points become spaces).
+
+    Values are min-max normalised over the finite points and decimated to
+    at most ``width`` characters — enough to eyeball the paper's curve
+    shapes straight from a benchmark log.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if len(arr) == 0:
+        return ""
+    if len(arr) > width:
+        step = len(arr) / width
+        arr = np.asarray([arr[int(i * step)] for i in range(width)])
+    finite = arr[~np.isnan(arr)]
+    if len(finite) == 0:
+        return " " * len(arr)
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    chars = []
+    for y in arr:
+        if math.isnan(y):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_SPARK_LEVELS[0])
+        else:
+            idx = int((y - lo) / span * (len(_SPARK_LEVELS) - 1))
+            chars.append(_SPARK_LEVELS[idx])
+    return "".join(chars)
+
+
+def render_series(series: Sequence[Series], *, max_points: int = 12) -> str:
+    """Text rendering: summary, sparkline and a decimated point list per curve."""
+    out = []
+    for s in series:
+        out.append(s.summary())
+        if len(s.xs) == 0:
+            continue
+        out.append(f"    {sparkline(s.ys)}")
+        step = max(1, len(s.xs) // max_points)
+        points = ", ".join(
+            f"({x:g}, {y:.4g})" for x, y in list(zip(s.xs, s.ys))[::step]
+        )
+        out.append(f"    {points}")
+    return "\n".join(out)
+
+
+def save_series_csv(series: Sequence[Series], path: str | os.PathLike) -> None:
+    """Write all curves to one long-format CSV (series, x, y)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("series,x,y\n")
+        for s in series:
+            for x, y in zip(s.xs, s.ys):
+                handle.write(f"{s.name},{x:g},{y:.10g}\n")

@@ -1,0 +1,155 @@
+"""Dependency-free SVG line charts for the figure series.
+
+The benchmark suite archives every figure as CSV plus a sparkline; this
+module additionally renders them as standalone SVG images (no matplotlib —
+the repository has no plotting dependency), so the paper's Figures 5–6 can
+be regenerated as actual pictures:
+
+    from repro.bench import workloads
+    from repro.bench.svg import save_series_svg
+    save_series_svg(workloads.fig5_set_scores(), "fig5.svg", title="Figure 5")
+
+The output is deliberately simple: one polyline per series, linear axes
+with a handful of ticks, a legend, and NaN points breaking the line.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Sequence
+
+from .figures import Series
+
+__all__ = ["save_series_svg", "render_series_svg"]
+
+#: Colour cycle (Okabe–Ito palette: colour-blind safe).
+_COLOURS = (
+    "#0072B2", "#E69F00", "#009E73", "#D55E00",
+    "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+)
+
+_WIDTH, _HEIGHT = 640, 400
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 150, 40, 48
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> list[float]:
+    """A few round-ish tick positions covering [lo, hi]."""
+    if hi <= lo:
+        return [lo]
+    span = hi - lo
+    raw_step = span / max(count - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for mult in (1, 2, 5, 10):
+        step = mult * magnitude
+        if span / step <= count:
+            break
+    start = math.ceil(lo / step) * step
+    out = []
+    t = start
+    while t <= hi + 1e-12:
+        out.append(round(t, 12))
+        t += step
+    return out or [lo]
+
+
+def render_series_svg(series: Sequence[Series], *, title: str = "") -> str:
+    """Render the curves into one SVG document (returned as a string)."""
+    points = [
+        (x, y)
+        for s in series
+        for x, y in zip(s.xs, s.ys)
+        if not math.isnan(y)
+    ]
+    if not points:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" height="{_HEIGHT}">'
+            f'<text x="20" y="40">{title or "empty figure"}</text></svg>'
+        )
+    x_lo = min(p[0] for p in points)
+    x_hi = max(p[0] for p in points)
+    y_lo = min(p[1] for p in points)
+    y_hi = max(p[1] for p in points)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def px(x: float) -> float:
+        return _MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return _MARGIN_T + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" height="{_HEIGHT}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_MARGIN_L}" y="24" font-size="15" font-weight="bold">{title}</text>'
+        )
+
+    # Axes and ticks.
+    axis = (
+        f'M {_MARGIN_L} {_MARGIN_T} L {_MARGIN_L} {_MARGIN_T + plot_h} '
+        f'L {_MARGIN_L + plot_w} {_MARGIN_T + plot_h}'
+    )
+    parts.append(f'<path d="{axis}" stroke="#444" fill="none"/>')
+    for t in _ticks(x_lo, x_hi):
+        x = px(t)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{_MARGIN_T + plot_h}" x2="{x:.1f}" '
+            f'y2="{_MARGIN_T + plot_h + 4}" stroke="#444"/>'
+            f'<text x="{x:.1f}" y="{_MARGIN_T + plot_h + 18}" text-anchor="middle">{t:g}</text>'
+        )
+    for t in _ticks(y_lo, y_hi):
+        y = py(t)
+        parts.append(
+            f'<line x1="{_MARGIN_L - 4}" y1="{y:.1f}" x2="{_MARGIN_L}" y2="{y:.1f}" stroke="#444"/>'
+            f'<text x="{_MARGIN_L - 8}" y="{y + 4:.1f}" text-anchor="end">{t:g}</text>'
+            f'<line x1="{_MARGIN_L}" y1="{y:.1f}" x2="{_MARGIN_L + plot_w}" y2="{y:.1f}" '
+            f'stroke="#eee"/>'
+        )
+
+    # Curves + legend.
+    for i, s in enumerate(series):
+        colour = _COLOURS[i % len(_COLOURS)]
+        segments: list[list[str]] = [[]]
+        for x, y in zip(s.xs, s.ys):
+            if math.isnan(y):
+                if segments[-1]:
+                    segments.append([])
+                continue
+            segments[-1].append(f"{px(x):.1f},{py(y):.1f}")
+        for seg in segments:
+            if len(seg) >= 2:
+                parts.append(
+                    f'<polyline points="{" ".join(seg)}" fill="none" '
+                    f'stroke="{colour}" stroke-width="1.8"/>'
+                )
+            elif len(seg) == 1:
+                cx, cy = seg[0].split(",")
+                parts.append(f'<circle cx="{cx}" cy="{cy}" r="2.5" fill="{colour}"/>')
+        ly = _MARGIN_T + 14 * i
+        lx = _MARGIN_L + plot_w + 10
+        parts.append(
+            f'<line x1="{lx}" y1="{ly + 6}" x2="{lx + 18}" y2="{ly + 6}" '
+            f'stroke="{colour}" stroke-width="2"/>'
+            f'<text x="{lx + 24}" y="{ly + 10}">{s.name}</text>'
+        )
+
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def save_series_svg(
+    series: Sequence[Series], path: str | os.PathLike, *, title: str = ""
+) -> None:
+    """Write :func:`render_series_svg` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_series_svg(series, title=title))

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every benchmark regenerates a paper table or figure as rows of text; this
+module owns the formatting so the benchmarks stay about *content*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["TextTable", "format_value"]
+
+
+def format_value(value: object, *, precision: int = 4) -> str:
+    """Uniform cell formatting: floats trimmed, everything else str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "-"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+@dataclass
+class TextTable:
+    """A fixed-column ASCII table with a title and optional footnotes."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are formatted with :func:`format_value`."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([format_value(c) for c in cells])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Iterable[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = [self.title, "=" * len(self.title), line(self.headers), rule]
+        out.extend(line(row) for row in self.rows)
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()

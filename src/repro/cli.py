@@ -1,0 +1,246 @@
+"""Command-line interface.
+
+Installed as the ``bestk`` console script (also ``python -m repro``):
+
+* ``bestk decompose GRAPH``            — coreness statistics of a graph
+* ``bestk set GRAPH -m METRIC``        — best k for the k-core set
+* ``bestk core GRAPH -m METRIC``       — best single k-core
+* ``bestk truss GRAPH -m METRIC``      — best k for the k-truss set
+* ``bestk densest GRAPH``              — Opt-D vs CoreApp
+* ``bestk forest GRAPH``               — ASCII core-forest tree
+* ``bestk profile GRAPH -m METRIC``    — score-vs-k profile with sparkline
+* ``bestk validate GRAPH``             — structural integrity checks
+* ``bestk experiment NAME``            — regenerate a paper table/figure
+* ``bestk report [--out DIR]``         — all experiments into one REPORT.md
+* ``bestk datasets``                   — list the stand-in registry
+
+``GRAPH`` is either an edge-list path (gzip OK) or ``dataset:KEY`` for a
+registry stand-in (e.g. ``dataset:DBLP``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+from .bench import render_series, workloads
+from .core import (
+    PAPER_METRICS,
+    available_metrics,
+    best_kcore_set,
+    best_single_kcore,
+    core_decomposition,
+)
+from .errors import ReproError
+from .generators import DATASETS, load_dataset
+from .graph import load_edge_list, validate_graph
+from .graph.csr import Graph
+from .truss import best_ktruss_set
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment name -> zero-argument callable returning renderable output.
+EXPERIMENTS = {
+    "table3": lambda: workloads.table3_dataset_stats().render(),
+    "table4": lambda: workloads.table4_best_k().render(),
+    "fig5": lambda: render_series(workloads.fig5_set_scores()),
+    "fig6": lambda: render_series(workloads.fig6_core_scores()),
+    "case-study": lambda: "\n\n".join(t.render() for t in workloads.tables5to7_case_study()),
+    "fig7": lambda: workloads.fig7_runtime_set().render(),
+    "fig8": lambda: workloads.fig8_runtime_core().render(),
+    "table8": lambda: workloads.table8_densest_clique().render(),
+    "table9": lambda: workloads.table9_sized_core().render(),
+    "ablation-ordering": lambda: workloads.ablation_ordering().render(),
+    "ablation-forest": lambda: workloads.ablation_forest().render(),
+    "ablation-index-reuse": lambda: workloads.ablation_index_reuse().render(),
+    "ablation-dynamic": lambda: workloads.ablation_dynamic().render(),
+    "extension-truss": lambda: workloads.extension_truss().render(),
+    "extension-weighted": lambda: workloads.extension_weighted().render(),
+    "extension-communities": lambda: workloads.extension_communities().render(),
+    "extension-spreaders": lambda: workloads.extension_spreaders().render(),
+    "extension-ecc": lambda: workloads.extension_ecc().render(),
+}
+
+
+def _load_graph(spec: str) -> Graph:
+    if spec.startswith("dataset:"):
+        return load_dataset(spec.split(":", 1)[1])
+    return load_edge_list(spec).graph
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bestk",
+        description="Finding the best k in core decomposition (ICDE 2020 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=f"bestk {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def graph_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("graph", help="edge-list path or dataset:KEY")
+
+    p = sub.add_parser("decompose", help="coreness statistics")
+    graph_arg(p)
+
+    for name, helptext in (
+        ("set", "best k for the k-core set"),
+        ("core", "best single k-core"),
+        ("truss", "best k for the k-truss set"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        graph_arg(p)
+        p.add_argument(
+            "-m", "--metric", default="average_degree",
+            help=f"community metric ({', '.join(available_metrics())})",
+        )
+        p.add_argument(
+            "--all-metrics", action="store_true",
+            help="report every paper metric instead of one",
+        )
+
+    p = sub.add_parser("densest", help="densest subgraph: Opt-D vs CoreApp")
+    graph_arg(p)
+
+    p = sub.add_parser("forest", help="draw the core forest as an ASCII tree")
+    graph_arg(p)
+    p.add_argument("-m", "--metric", default=None,
+                   help="annotate each core with this metric's score")
+
+    p = sub.add_parser("profile", help="score-vs-k profile with sparkline")
+    graph_arg(p)
+    p.add_argument("-m", "--metric", default="average_degree",
+                   help=f"community metric ({', '.join(available_metrics())})")
+
+    p = sub.add_parser("validate", help="check graph integrity invariants")
+    graph_arg(p)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment id")
+
+    p = sub.add_parser("report", help="run every experiment into one REPORT.md")
+    p.add_argument("--out", default="report", help="output directory")
+    p.add_argument("--only", default=None,
+                   help="comma-separated subset of experiment names")
+
+    sub.add_parser("datasets", help="list the dataset stand-in registry")
+    return parser
+
+
+def _cmd_decompose(args) -> int:
+    from .graph import graph_summary
+    graph = _load_graph(args.graph)
+    decomp = core_decomposition(graph)
+    print(graph_summary(graph).render())
+    print(f"kmax (degeneracy) = {decomp.kmax}")
+    for k in range(decomp.kmax + 1):
+        size = decomp.shell_size(k)
+        if size:
+            print(f"  shell {k}: {size} vertices, |C_{k}| = {decomp.kcore_set_size(k)}")
+    return 0
+
+
+def _cmd_bestk(args, which: str) -> int:
+    graph = _load_graph(args.graph)
+    metrics = PAPER_METRICS if args.all_metrics else (args.metric,)
+    finders = {
+        "set": best_kcore_set,
+        "core": best_single_kcore,
+        "truss": best_ktruss_set,
+    }
+    for metric in metrics:
+        result = finders[which](graph, metric)
+        print(
+            f"{metric}: best k = {result.k}, score = {result.score:.6g}, "
+            f"|V| = {len(result.vertices)}"
+        )
+    return 0
+
+
+def _cmd_forest(args) -> int:
+    from .core import build_core_forest, kcore_scores
+    from .viz import render_forest
+    graph = _load_graph(args.graph)
+    forest = build_core_forest(graph)
+    scores = None
+    if args.metric:
+        scores = kcore_scores(graph, args.metric, forest=forest).scores
+    print(render_forest(forest, scores=scores))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .core import kcore_set_scores
+    from .viz import render_score_profile, render_shell_histogram
+    graph = _load_graph(args.graph)
+    print(render_shell_histogram(core_decomposition(graph)))
+    print()
+    print(render_score_profile(kcore_set_scores(graph, args.metric)))
+    return 0
+
+
+def _cmd_densest(args) -> int:
+    from .apps import core_app, opt_d
+    graph = _load_graph(args.graph)
+    for solver in (opt_d, core_app):
+        result = solver(graph)
+        print(f"{result.method}: average degree {result.avg_degree:.3f} on {len(result.vertices)} vertices")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    graph = _load_graph(args.graph)
+    validate_graph(graph)
+    print(f"OK: {graph!r} satisfies all structural invariants")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    print(EXPERIMENTS[args.name]())
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    for spec in DATASETS:
+        paper = spec.paper
+        print(
+            f"{spec.abbreviation:3s} {spec.name:12s} {spec.domain:28s} "
+            f"paper: n={paper.num_vertices:,} m={paper.num_edges:,} kmax={paper.kmax}"
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "decompose":
+            return _cmd_decompose(args)
+        if args.command in ("set", "core", "truss"):
+            return _cmd_bestk(args, args.command)
+        if args.command == "densest":
+            return _cmd_densest(args)
+        if args.command == "forest":
+            return _cmd_forest(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
+        if args.command == "validate":
+            return _cmd_validate(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "report":
+            from .bench.report import run_all_experiments
+            only = tuple(args.only.split(",")) if args.only else None
+            path = run_all_experiments(args.out, only=only)
+            print(f"report written to {path}")
+            return 0
+        if args.command == "datasets":
+            return _cmd_datasets(args)
+    except (ReproError, FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

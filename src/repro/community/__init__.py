@@ -1,0 +1,20 @@
+"""Community detection comparators (Louvain, label propagation).
+
+Implements the detection algorithms that the paper's related work compares
+community *scoring* metrics against, so the benchmark suite can pit the
+best-k-core communities against optimisation-based partitions.
+"""
+
+from .detection import (
+    compress_labels,
+    label_propagation,
+    louvain,
+    partition_modularity,
+)
+
+__all__ = [
+    "compress_labels",
+    "label_propagation",
+    "louvain",
+    "partition_modularity",
+]

@@ -1,0 +1,190 @@
+"""Community detection comparators: Louvain and label propagation.
+
+The paper's related work positions community *scoring* metrics as the way
+to "effectively compare the communities produced by different algorithms"
+[37].  To make that comparison runnable inside this repository, two classic
+detection algorithms are implemented from scratch:
+
+* :func:`louvain` — greedy modularity optimisation (Blondel et al., 2008):
+  local moving to the best neighbouring community until stable, then
+  aggregation of communities into super-vertices, repeated across levels.
+* :func:`label_propagation` — near-linear majority-label spreading
+  (Raghavan et al., 2007), seeded and therefore deterministic.
+
+Both return a dense label array; :func:`partition_modularity` scores a full
+partition with the paper's Section II-C modularity formula
+``f(P) = sum_i ( m_i/m - ((2 m_i + b_i)/(2m))^2 )``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+__all__ = ["louvain", "label_propagation", "partition_modularity", "compress_labels"]
+
+
+def compress_labels(labels: np.ndarray) -> np.ndarray:
+    """Renumber arbitrary labels to dense ``0..k-1`` (order of first use)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    mapping: dict[int, int] = {}
+    out = np.empty_like(labels)
+    for i, label in enumerate(labels.tolist()):
+        if label not in mapping:
+            mapping[label] = len(mapping)
+        out[i] = mapping[label]
+    return out
+
+
+def partition_modularity(graph: Graph, labels: np.ndarray) -> float:
+    """Modularity of a full partition (paper Section II-C).
+
+    Each community contributes ``m_i/m - ((2 m_i + b_i)/(2m))^2`` where
+    ``m_i`` counts its internal edges and ``b_i`` its boundary edges.
+    """
+    m = graph.num_edges
+    if m == 0:
+        return 0.0
+    labels = np.asarray(labels, dtype=np.int64)
+    count = int(labels.max()) + 1 if len(labels) else 0
+    internal = np.zeros(count, dtype=np.int64)
+    degree_sum = np.zeros(count, dtype=np.int64)
+    np.add.at(degree_sum, labels, graph.degrees())
+    for u, v in graph.edges():
+        if labels[u] == labels[v]:
+            internal[labels[u]] += 1
+    total = 0.0
+    for c in range(count):
+        # 2 m_i + b_i equals the community's total degree sum.
+        total += internal[c] / m - (degree_sum[c] / (2 * m)) ** 2
+    return total
+
+
+def label_propagation(graph: Graph, *, max_rounds: int = 100, seed: int = 0) -> np.ndarray:
+    """Majority-label propagation with seeded, asynchronous updates.
+
+    Each round visits vertices in a fresh random order; a vertex adopts the
+    most frequent label among its neighbours (seeded random tie-break).
+    Stops when a full round changes nothing, or after ``max_rounds``.
+    """
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    labels = np.arange(n, dtype=np.int64)
+    indptr, indices = graph.indptr, graph.indices
+    for _ in range(max_rounds):
+        changed = False
+        for v in rng.permutation(n):
+            nbrs = indices[indptr[v]:indptr[v + 1]]
+            if len(nbrs) == 0:
+                continue
+            counts: dict[int, int] = {}
+            for u in nbrs.tolist():
+                lbl = int(labels[u])
+                counts[lbl] = counts.get(lbl, 0) + 1
+            best = max(counts.values())
+            candidates = sorted(lbl for lbl, c in counts.items() if c == best)
+            new = candidates[int(rng.integers(0, len(candidates)))]
+            if new != labels[v]:
+                labels[v] = new
+                changed = True
+        if not changed:
+            break
+    return compress_labels(labels)
+
+
+class _WeightedAggregate:
+    """Small weighted-graph view used between Louvain levels."""
+
+    def __init__(self, num_vertices: int):
+        self.num_vertices = num_vertices
+        self.adj: list[dict[int, float]] = [dict() for _ in range(num_vertices)]
+        self.self_loops = np.zeros(num_vertices, dtype=np.float64)
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "_WeightedAggregate":
+        agg = cls(graph.num_vertices)
+        for u, v in graph.edges():
+            agg.adj[u][v] = agg.adj[u].get(v, 0.0) + 1.0
+            agg.adj[v][u] = agg.adj[v].get(u, 0.0) + 1.0
+        return agg
+
+    def strength(self, v: int) -> float:
+        return sum(self.adj[v].values()) + 2.0 * self.self_loops[v]
+
+    def total_weight(self) -> float:
+        return sum(sum(nbrs.values()) for nbrs in self.adj) / 2.0 + self.self_loops.sum()
+
+
+def _local_moving(agg: _WeightedAggregate, rng: np.random.Generator) -> np.ndarray:
+    """One Louvain level: move vertices greedily until no gain remains."""
+    n = agg.num_vertices
+    labels = np.arange(n, dtype=np.int64)
+    two_m = 2.0 * agg.total_weight()
+    if two_m == 0:
+        return labels
+    strength = np.asarray([agg.strength(v) for v in range(n)])
+    community_strength = strength.copy().astype(np.float64)
+
+    improved = True
+    rounds = 0
+    while improved and rounds < 50:
+        improved = False
+        rounds += 1
+        for v in rng.permutation(n):
+            current = int(labels[v])
+            # Weight from v to each neighbouring community.
+            to_comm: dict[int, float] = {}
+            for u, w in agg.adj[v].items():
+                to_comm[int(labels[u])] = to_comm.get(int(labels[u]), 0.0) + w
+            community_strength[current] -= strength[v]
+            base = to_comm.get(current, 0.0) - strength[v] * community_strength[current] / two_m
+            best_comm, best_gain = current, 0.0
+            for comm, weight in to_comm.items():
+                if comm == current:
+                    continue
+                gain = (weight - strength[v] * community_strength[comm] / two_m) - base
+                if gain > best_gain + 1e-12:
+                    best_gain, best_comm = gain, comm
+            labels[v] = best_comm
+            community_strength[best_comm] += strength[v]
+            if best_comm != current:
+                improved = True
+    return compress_labels(labels)
+
+
+def _aggregate(agg: _WeightedAggregate, labels: np.ndarray) -> _WeightedAggregate:
+    """Collapse communities into super-vertices, keeping weights."""
+    count = int(labels.max()) + 1 if len(labels) else 0
+    out = _WeightedAggregate(count)
+    for v in range(agg.num_vertices):
+        lv = int(labels[v])
+        out.self_loops[lv] += agg.self_loops[v]
+        for u, w in agg.adj[v].items():
+            lu = int(labels[u])
+            if lu == lv:
+                if v < u:
+                    out.self_loops[lv] += w
+            elif v < u:
+                out.adj[lv][lu] = out.adj[lv].get(lu, 0.0) + w
+                out.adj[lu][lv] = out.adj[lu].get(lv, 0.0) + w
+    return out
+
+
+def louvain(graph: Graph, *, seed: int = 0, max_levels: int = 10) -> np.ndarray:
+    """Multi-level Louvain modularity optimisation.
+
+    Returns dense community labels.  Deterministic for a fixed seed.
+    """
+    rng = np.random.default_rng(seed)
+    agg = _WeightedAggregate.from_graph(graph)
+    labels = np.arange(graph.num_vertices, dtype=np.int64)
+    for _ in range(max_levels):
+        level_labels = _local_moving(agg, rng)
+        if (level_labels == np.arange(len(level_labels))).all():
+            break  # no merge happened: converged
+        labels = level_labels[labels]
+        agg = _aggregate(agg, level_labels)
+        if agg.num_vertices <= 1:
+            break
+    return compress_labels(labels)

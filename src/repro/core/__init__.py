@@ -1,0 +1,83 @@
+"""The paper's primary contribution: best-k algorithms over core decomposition.
+
+Submodules
+----------
+``decomposition``   Batagelj–Zaversnik core decomposition (Section II-A)
+``ordering``        Algorithm 1: rank-ordered adjacency + position tags
+``primary``         primary values n, m, b, triangles, triplets (Section II-C)
+``metrics``         the community scoring metric registry
+``triangles``       exact + incremental triangle/triplet counting
+``bestk_set``       Problem 1: baseline + Algorithms 2 and 3
+``forest``          Algorithm 4 (LCPS) core forest + union-find cross-check
+``bestk_core``      Problem 2: baseline + Algorithm 5
+``naive``           slow definitional oracles for the test suite
+"""
+
+from .bestk_core import (
+    BestCoreResult,
+    KCoreScores,
+    baseline_kcore_scores,
+    best_single_kcore,
+    kcore_scores,
+)
+from .bestk_set import (
+    BestKResult,
+    KCoreSetScores,
+    baseline_kcore_set_scores,
+    best_kcore_set,
+    kcore_set_scores,
+)
+from .combine import CombinedBestK, combined_kcore_scores, combined_kcore_set_scores
+from .decomposition import CoreDecomposition, core_decomposition
+from .dynamic import DynamicCoreness
+from .iterative import core_decomposition_hindex, semi_external_core_decomposition
+from .forest import CoreForest, CoreNode, build_core_forest, build_core_forest_union_find
+from .metrics import (
+    PAPER_METRICS,
+    Metric,
+    available_metrics,
+    get_metric,
+    register_metric,
+)
+from .ordering import OrderedGraph, order_vertices
+from .primary import GraphTotals, PrimaryValues, graph_totals, primary_values
+from .triangles import count_triangles, count_triangles_and_triplets, count_triplets
+
+__all__ = [
+    "BestCoreResult",
+    "BestKResult",
+    "CombinedBestK",
+    "CoreDecomposition",
+    "CoreForest",
+    "CoreNode",
+    "DynamicCoreness",
+    "GraphTotals",
+    "KCoreScores",
+    "KCoreSetScores",
+    "Metric",
+    "OrderedGraph",
+    "PAPER_METRICS",
+    "PrimaryValues",
+    "available_metrics",
+    "baseline_kcore_scores",
+    "baseline_kcore_set_scores",
+    "best_kcore_set",
+    "best_single_kcore",
+    "build_core_forest",
+    "build_core_forest_union_find",
+    "combined_kcore_scores",
+    "combined_kcore_set_scores",
+    "core_decomposition",
+    "core_decomposition_hindex",
+    "count_triangles",
+    "count_triangles_and_triplets",
+    "count_triplets",
+    "get_metric",
+    "graph_totals",
+    "kcore_scores",
+    "kcore_set_scores",
+    "order_vertices",
+    "primary_values",
+    "register_metric",
+    "semi_external_core_decomposition",
+]

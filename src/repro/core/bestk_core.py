@@ -1,0 +1,232 @@
+"""Finding the best single k-core — paper Section IV.
+
+Candidates are **all** connected k-cores of **all** orders ``0..kmax`` —
+exactly the nodes of the core forest.  Two paths:
+
+* :func:`baseline_kcore_scores` — the paper's baseline (Section IV-B):
+  reconstruct each core's vertex set from the forest and recompute its
+  primary values from scratch.
+* :func:`kcore_scores` — Algorithm 5: process forest nodes in descending
+  coreness order; each node's primary values are the sum of its children's
+  plus the incremental contribution of its own shell vertices (the same
+  per-vertex deltas as Algorithms 2/3, grouped by node instead of by
+  shell).
+
+Both return :class:`KCoreScores`; :func:`best_single_kcore` picks the
+winner, with ties broken towards the largest k (then the smallest node id,
+for determinism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import Graph
+from .forest import CoreForest, build_core_forest
+from .metrics import Metric, get_metric
+from .ordering import OrderedGraph, order_vertices
+from .primary import GraphTotals, PrimaryValues, graph_totals, primary_values
+from .triangles import triangles_by_min_rank_vertex, triplet_group_deltas
+
+__all__ = [
+    "KCoreScores",
+    "BestCoreResult",
+    "kcore_scores",
+    "baseline_kcore_scores",
+    "best_single_kcore",
+]
+
+
+@dataclass(frozen=True)
+class KCoreScores:
+    """Scores and primary values of every connected k-core (forest node)."""
+
+    metric: Metric
+    totals: GraphTotals
+    forest: CoreForest
+    #: ``scores[i]`` = metric score of forest node i's core.
+    scores: np.ndarray
+    #: ``values[i]`` = primary values of forest node i's core.
+    values: tuple[PrimaryValues, ...]
+
+    def best_node(self) -> int:
+        """Node id of the best core; ties towards largest k, then lowest id."""
+        scores = self.scores
+        finite = ~np.isnan(scores)
+        if not finite.any():
+            raise ValueError("no candidate k-core to choose from")
+        best = np.nanmax(scores)
+        candidates = np.flatnonzero(finite & (scores == best))
+        ks = np.asarray([self.forest.nodes[int(i)].k for i in candidates])
+        winners = candidates[ks == ks.max()]
+        return int(winners.min())
+
+    def ranked_nodes(self) -> np.ndarray:
+        """Node ids sorted by descending score (nan last)."""
+        keys = np.where(np.isnan(self.scores), -np.inf, self.scores)
+        return np.argsort(-keys, kind="stable")
+
+    def __repr__(self) -> str:
+        return f"KCoreScores(metric={self.metric.name!r}, cores={len(self.scores)})"
+
+
+@dataclass(frozen=True)
+class BestCoreResult:
+    """The best single k-core for one metric on one graph."""
+
+    metric_name: str
+    k: int
+    score: float
+    node_id: int
+    scores: KCoreScores
+    #: Full vertex set of the winning core (sorted ascending).
+    vertices: np.ndarray
+
+    def __repr__(self) -> str:
+        return (
+            f"BestCoreResult(metric={self.metric_name!r}, k={self.k}, "
+            f"score={self.score:.6g}, |V|={len(self.vertices)})"
+        )
+
+
+def _node_shell_deltas(
+    ordered: OrderedGraph, forest: CoreForest
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-node (2*in, out, num) contributions of each node's own vertices."""
+    deg = np.diff(ordered.indptr)
+    n_lt = ordered.same
+    n_eq = ordered.plus - ordered.same
+    n_gt = deg - ordered.plus
+    twice_in_contrib = 2 * n_gt + n_eq
+    out_contrib = n_lt - n_gt
+
+    count = forest.num_nodes
+    twice_in = np.zeros(count, dtype=np.int64)
+    out = np.zeros(count, dtype=np.int64)
+    num = np.zeros(count, dtype=np.int64)
+    for node in forest.nodes:
+        members = node.vertices
+        twice_in[node.node_id] = int(twice_in_contrib[members].sum())
+        out[node.node_id] = int(out_contrib[members].sum())
+        num[node.node_id] = len(members)
+    return twice_in, out, num
+
+
+def kcore_scores(
+    graph: Graph,
+    metric: str | Metric,
+    *,
+    ordered: OrderedGraph | None = None,
+    forest: CoreForest | None = None,
+) -> KCoreScores:
+    """Score every connected k-core with Algorithm 5.
+
+    Nodes are stored in descending coreness order, so children (strictly
+    deeper cores) always precede their parent; one forward scan aggregates
+    child totals into each node and adds the node's own shell deltas.
+    O(n) scoring — O(m^1.5) with triangle metrics — after the O(m) index
+    and forest builds.
+    """
+    metric = get_metric(metric)
+    if ordered is None:
+        ordered = order_vertices(graph)
+    if forest is None:
+        forest = build_core_forest(graph, ordered.decomposition)
+    totals = graph_totals(graph)
+
+    twice_in, out, num = _node_shell_deltas(ordered, forest)
+    tri = trip = None
+    if metric.requires_triangles:
+        tri_charges = triangles_by_min_rank_vertex(ordered)
+        tri = np.zeros(forest.num_nodes, dtype=np.int64)
+        for node in forest.nodes:
+            if len(node.vertices):
+                tri[node.node_id] = int(tri_charges[node.vertices].sum())
+        trip = triplet_group_deltas(ordered, [node.vertices for node in forest.nodes])
+
+    # Children precede parents (descending-k storage): one forward scan.
+    for node in forest.nodes:
+        for child in node.children:
+            twice_in[node.node_id] += twice_in[child]
+            out[node.node_id] += out[child]
+            num[node.node_id] += num[child]
+            if tri is not None:
+                tri[node.node_id] += tri[child]
+                trip[node.node_id] += trip[child]
+
+    values = []
+    scores = np.full(forest.num_nodes, np.nan)
+    for node in forest.nodes:
+        i = node.node_id
+        pv = PrimaryValues(
+            num_vertices=int(num[i]),
+            num_edges=int(twice_in[i]) // 2,
+            num_boundary=int(out[i]),
+            num_triangles=None if tri is None else int(tri[i]),
+            num_triplets=None if trip is None else int(trip[i]),
+        )
+        values.append(pv)
+        scores[i] = metric.score(pv, totals)
+    return KCoreScores(metric, totals, forest, scores, tuple(values))
+
+
+def baseline_kcore_scores(
+    graph: Graph,
+    metric: str | Metric,
+    *,
+    forest: CoreForest | None = None,
+) -> KCoreScores:
+    """The paper's single-core baseline: score every core from scratch.
+
+    The forest makes *retrieving* each core's vertex set cheap, but the
+    primary values are recomputed per core by scanning its induced
+    subgraph — ``O(sum_cores (q_i + |V(S_i)|))`` overall.
+    """
+    metric = get_metric(metric)
+    if forest is None:
+        forest = build_core_forest(graph)
+    totals = graph_totals(graph)
+    values = []
+    scores = np.full(forest.num_nodes, np.nan)
+    for node in forest.nodes:
+        members = forest.core_vertices(node.node_id)
+        pv = primary_values(graph, members, count_triangles=metric.requires_triangles)
+        values.append(pv)
+        scores[node.node_id] = metric.score(pv, totals)
+    return KCoreScores(metric, totals, forest, scores, tuple(values))
+
+
+def best_single_kcore(
+    graph: Graph,
+    metric: str | Metric,
+    *,
+    ordered: OrderedGraph | None = None,
+    forest: CoreForest | None = None,
+    use_baseline: bool = False,
+) -> BestCoreResult:
+    """Find the best single connected k-core (Problem 2).
+
+    Set ``use_baseline=True`` to route through the from-scratch baseline
+    (identical results, used for benchmarking).
+    """
+    metric = get_metric(metric)
+    if ordered is None:
+        ordered = order_vertices(graph)
+    if forest is None:
+        forest = build_core_forest(graph, ordered.decomposition)
+    if use_baseline:
+        scored = baseline_kcore_scores(graph, metric, forest=forest)
+    else:
+        scored = kcore_scores(graph, metric, ordered=ordered, forest=forest)
+    node_id = scored.best_node()
+    node = forest.nodes[node_id]
+    return BestCoreResult(
+        metric_name=metric.name,
+        k=node.k,
+        score=float(scored.scores[node_id]),
+        node_id=node_id,
+        scores=scored,
+        vertices=forest.core_vertices(node_id),
+    )

@@ -1,0 +1,267 @@
+"""Finding the best k-core set — paper Section III.
+
+Two computation paths are provided:
+
+* :func:`baseline_kcore_set_scores` — the paper's baseline (Section III-A):
+  retrieve the vertex set of every ``C_k`` from the coreness ordering and
+  recompute its primary values from scratch, once per k.
+* :func:`kcore_set_scores` — the optimal algorithms: Algorithm 2 for the
+  O(m) metrics (``in``/``out``/``num``) and Algorithm 3 when triangles and
+  triplets are also required.  Scores of **all** k-core sets come out of one
+  top-down pass over the shells.
+
+Both return the same :class:`KCoreSetScores` record, and
+:func:`best_kcore_set` picks the winner (ties broken towards the largest k,
+as in the paper's Table IV).
+
+The shell-by-shell accumulation of Algorithm 2 is expressed as suffix sums
+over the coreness-sorted vertex order: every vertex ``v`` contributes
+``2|N(v,>)| + |N(v,=)|`` internal edge-endpoints and
+``|N(v,<)| - |N(v,>)|`` boundary edges to its own shell, and the totals of
+``C_k`` are exactly the contributions of all shells ``>= k``.  This is the
+identical arithmetic to the paper's pseudo-code, evaluated with O(1) work
+per vertex — hence O(n) scoring after the O(m) index build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import Graph
+from .decomposition import CoreDecomposition, core_decomposition
+from .metrics import Metric, get_metric
+from .ordering import OrderedGraph, order_vertices
+from .primary import GraphTotals, PrimaryValues, graph_totals, primary_values
+from .triangles import triangles_by_min_rank_vertex, triplet_group_deltas
+
+__all__ = [
+    "KCoreSetScores",
+    "BestKResult",
+    "kcore_set_scores",
+    "baseline_kcore_set_scores",
+    "best_kcore_set",
+    "shell_accumulate",
+    "triangle_triplet_by_shell",
+]
+
+
+@dataclass(frozen=True)
+class KCoreSetScores:
+    """Scores and primary values of every k-core set ``C_0 .. C_kmax``."""
+
+    metric: Metric
+    totals: GraphTotals
+    #: ``scores[k]`` = metric score of ``C_k``; ``nan`` for empty sets.
+    scores: np.ndarray
+    #: ``values[k]`` = primary values of ``C_k``.
+    values: tuple[PrimaryValues, ...]
+
+    @property
+    def kmax(self) -> int:
+        """Largest k with a defined (possibly empty) k-core set."""
+        return len(self.scores) - 1
+
+    def best_k(self) -> int:
+        """Argmax of the scores; ties broken towards the largest k."""
+        scores = self.scores
+        finite = ~np.isnan(scores)
+        if not finite.any():
+            raise ValueError("no non-empty k-core set to choose from")
+        best = np.nanmax(scores)
+        return int(np.flatnonzero(finite & (scores == best)).max())
+
+    def __repr__(self) -> str:
+        return f"KCoreSetScores(metric={self.metric.name!r}, kmax={self.kmax})"
+
+
+@dataclass(frozen=True)
+class BestKResult:
+    """The answer to "which k is best?" for one metric on one graph."""
+
+    metric_name: str
+    k: int
+    score: float
+    scores: KCoreSetScores
+    #: Vertices of the winning k-core set (sorted ascending).
+    vertices: np.ndarray
+
+    def __repr__(self) -> str:
+        return (
+            f"BestKResult(metric={self.metric_name!r}, k={self.k}, "
+            f"score={self.score:.6g}, |V|={len(self.vertices)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared shell arithmetic
+# ----------------------------------------------------------------------
+
+def shell_accumulate(ordered: OrderedGraph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-k totals of ``2*in``, ``out`` and ``num`` for every ``C_k``.
+
+    Returns three arrays of length ``kmax + 2`` indexed by k (the final
+    entry, for ``k = kmax + 1``, is zero — the empty set).  This is
+    Algorithm 2's accumulation, vectorised as suffix sums over the
+    coreness-sorted order.
+    """
+    decomp = ordered.decomposition
+    deg = np.diff(ordered.indptr)
+    n_lt = ordered.same
+    n_eq = ordered.plus - ordered.same
+    n_gt = deg - ordered.plus
+
+    twice_in_contrib = 2 * n_gt + n_eq
+    out_contrib = n_lt - n_gt
+
+    order = decomp.order
+    # Suffix sums over the coreness-ascending order: entry i is the total
+    # contribution of vertices ranked i and above.
+    suffix_in = np.concatenate([
+        np.cumsum(twice_in_contrib[order][::-1])[::-1], [0]
+    ])
+    suffix_out = np.concatenate([
+        np.cumsum(out_contrib[order][::-1])[::-1], [0]
+    ])
+
+    kmax = decomp.kmax
+    starts = decomp.shell_start[: kmax + 2].copy()
+    twice_in_k = suffix_in[starts]
+    out_k = suffix_out[starts]
+    num_k = len(order) - starts
+    return twice_in_k, out_k, num_k
+
+
+def triangle_triplet_by_shell(ordered: OrderedGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Algorithm 3's per-shell increments of triangles and triplets.
+
+    Returns ``(tri_new, trip_new)``, arrays of length ``kmax + 1`` where
+    index k holds the number of triangles/triplets present in ``C_k`` but
+    not in ``C_{k+1}``.  Cumulating from the top yields the counts of every
+    k-core set.
+
+    Triangles are charged to the shell of their minimum-rank corner,
+    triplets to the shell at which their centre gains the new legs; the
+    per-vertex/per-group charging lives in :mod:`repro.core.triangles` and
+    is shared with Algorithm 5.
+    """
+    decomp = ordered.decomposition
+    kmax = decomp.kmax
+    tri_charges = triangles_by_min_rank_vertex(ordered)
+    shells = [decomp.shell(k) for k in range(kmax, -1, -1)]
+    trip_deltas = triplet_group_deltas(ordered, shells)
+
+    tri_new = np.zeros(kmax + 1, dtype=np.int64)
+    trip_new = np.zeros(kmax + 1, dtype=np.int64)
+    for i, k in enumerate(range(kmax, -1, -1)):
+        shell = shells[i]
+        if len(shell):
+            tri_new[k] = int(tri_charges[shell].sum())
+        trip_new[k] = trip_deltas[i]
+    return tri_new, trip_new
+
+
+# ----------------------------------------------------------------------
+# Public scoring entry points
+# ----------------------------------------------------------------------
+
+def kcore_set_scores(
+    graph: Graph,
+    metric: str | Metric,
+    *,
+    ordered: OrderedGraph | None = None,
+) -> KCoreSetScores:
+    """Score every k-core set with the optimal algorithm (Alg. 2 / Alg. 3).
+
+    Parameters
+    ----------
+    graph:
+        Host graph.
+    metric:
+        Metric name, abbreviation, or :class:`Metric` instance.
+    ordered:
+        A prebuilt Algorithm 1 index; computed on the fly when omitted.
+        Reusing one index across metrics is exactly the paper's "index built
+        once, scored many times" scenario.
+    """
+    metric = get_metric(metric)
+    if ordered is None:
+        ordered = order_vertices(graph)
+    decomp = ordered.decomposition
+    kmax = decomp.kmax
+    totals = graph_totals(graph)
+
+    twice_in_k, out_k, num_k = shell_accumulate(ordered)
+    tri_k = trip_k = None
+    if metric.requires_triangles:
+        tri_new, trip_new = triangle_triplet_by_shell(ordered)
+        tri_k = np.concatenate([np.cumsum(tri_new[::-1])[::-1], [0]])
+        trip_k = np.concatenate([np.cumsum(trip_new[::-1])[::-1], [0]])
+
+    values = []
+    scores = np.full(kmax + 1, np.nan)
+    for k in range(kmax + 1):
+        pv = PrimaryValues(
+            num_vertices=int(num_k[k]),
+            num_edges=int(twice_in_k[k]) // 2,
+            num_boundary=int(out_k[k]),
+            num_triangles=None if tri_k is None else int(tri_k[k]),
+            num_triplets=None if trip_k is None else int(trip_k[k]),
+        )
+        values.append(pv)
+        scores[k] = metric.score(pv, totals)
+    return KCoreSetScores(metric, totals, scores, tuple(values))
+
+
+def baseline_kcore_set_scores(
+    graph: Graph,
+    metric: str | Metric,
+    *,
+    decomposition: CoreDecomposition | None = None,
+) -> KCoreSetScores:
+    """The paper's baseline: recompute every ``C_k`` from scratch.
+
+    Core decomposition and the bin-sorted vertex order make *retrieving* the
+    vertex set of ``C_k`` cheap, but the primary values are recomputed per k
+    by scanning the induced subgraph — ``O(sum_k (q_k + |V(C_k)|))`` overall,
+    the cost Algorithm 2/3 eliminate.
+    """
+    metric = get_metric(metric)
+    if decomposition is None:
+        decomposition = core_decomposition(graph)
+    totals = graph_totals(graph)
+    kmax = decomposition.kmax
+    values = []
+    scores = np.full(kmax + 1, np.nan)
+    for k in range(kmax + 1):
+        members = decomposition.kcore_set_vertices(k)
+        pv = primary_values(graph, members, count_triangles=metric.requires_triangles)
+        values.append(pv)
+        scores[k] = metric.score(pv, totals)
+    return KCoreSetScores(metric, totals, scores, tuple(values))
+
+
+def best_kcore_set(
+    graph: Graph,
+    metric: str | Metric,
+    *,
+    ordered: OrderedGraph | None = None,
+    use_baseline: bool = False,
+) -> BestKResult:
+    """Find ``k*`` such that ``C_{k*}`` maximises ``metric`` (Problem 1).
+
+    Ties are broken towards the largest k, matching the paper's Table IV.
+    Set ``use_baseline=True`` to route through the from-scratch baseline
+    (useful for benchmarking; identical results).
+    """
+    metric = get_metric(metric)
+    if ordered is None:
+        ordered = order_vertices(graph)
+    if use_baseline:
+        scores = baseline_kcore_set_scores(graph, metric, decomposition=ordered.decomposition)
+    else:
+        scores = kcore_set_scores(graph, metric, ordered=ordered)
+    k = scores.best_k()
+    members = np.sort(ordered.decomposition.kcore_set_vertices(k))
+    return BestKResult(metric.name, k, float(scores.scores[k]), scores, members)

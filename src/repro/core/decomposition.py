@@ -1,0 +1,152 @@
+"""Core decomposition (coreness of every vertex) — paper Section II-A.
+
+Implements the Batagelj–Zaversnik bucket-peeling algorithm [7]: repeatedly
+remove the vertex of minimum remaining degree; the degree at removal time,
+monotonically clipped, is the vertex's *coreness*.  With degree-indexed
+buckets the whole decomposition takes ``O(m)`` time and ``O(n)`` extra space.
+
+The result object :class:`CoreDecomposition` caches the artefacts every other
+algorithm in this package needs:
+
+* ``coreness[v]`` — largest k such that v belongs to the k-core set;
+* ``kmax`` — graph degeneracy (largest non-empty core);
+* ``order`` — vertices sorted by ascending coreness (bin sort, paper III-A),
+  with ``shell_start`` giving O(1) slicing of any shell or k-core set;
+* ``peel_order`` — the exact removal sequence (a degeneracy ordering), used
+  by the clique solver and by the LCPS tie-breaking tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+__all__ = ["CoreDecomposition", "core_decomposition"]
+
+
+@dataclass(frozen=True)
+class CoreDecomposition:
+    """Coreness values plus the derived orderings of one graph.
+
+    Instances are produced by :func:`core_decomposition`; all arrays are
+    read-only.
+    """
+
+    graph: Graph
+    #: ``coreness[v]`` = max k with v in the k-core set.
+    coreness: np.ndarray
+    #: Exact peeling sequence (a degeneracy ordering of the vertices).
+    peel_order: np.ndarray
+    #: Vertices sorted by ascending coreness, ties by ascending id.
+    order: np.ndarray = field(init=False)
+    #: ``order[shell_start[k]:shell_start[k+1]]`` is the k-shell;
+    #: ``order[shell_start[k]:]`` is the vertex set of the k-core set.
+    shell_start: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        coreness = self.coreness
+        kmax = int(coreness.max()) if len(coreness) else 0
+        counts = np.bincount(coreness, minlength=kmax + 1) if len(coreness) else np.zeros(1, np.int64)
+        shell_start = np.zeros(kmax + 2, dtype=np.int64)
+        np.cumsum(counts, out=shell_start[1:])
+        # Stable bin sort by coreness keeps ids ascending within a shell.
+        order = np.argsort(coreness, kind="stable").astype(np.int64)
+        object.__setattr__(self, "order", order)
+        object.__setattr__(self, "shell_start", shell_start)
+        for arr in (self.coreness, self.peel_order, order, shell_start):
+            arr.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def kmax(self) -> int:
+        """Graph degeneracy: the largest k with a non-empty k-core."""
+        return len(self.shell_start) - 2
+
+    def shell(self, k: int) -> np.ndarray:
+        """Vertices with coreness exactly ``k`` (the k-shell ``H_k``)."""
+        return self.order[self.shell_start[k]:self.shell_start[k + 1]]
+
+    def shell_size(self, k: int) -> int:
+        """``|H_k|`` in O(1)."""
+        return int(self.shell_start[k + 1] - self.shell_start[k])
+
+    def kcore_set_vertices(self, k: int) -> np.ndarray:
+        """Vertex set of the k-core set ``C_k`` (coreness >= k), O(1) slice."""
+        if k > self.kmax:
+            return self.order[len(self.order):]
+        k = max(k, 0)
+        return self.order[self.shell_start[k]:]
+
+    def kcore_set_size(self, k: int) -> int:
+        """``|V(C_k)|`` in O(1)."""
+        if k > self.kmax:
+            return 0
+        return int(len(self.order) - self.shell_start[max(k, 0)])
+
+    def __repr__(self) -> str:
+        return f"CoreDecomposition(n={len(self.coreness)}, kmax={self.kmax})"
+
+
+def core_decomposition(graph: Graph) -> CoreDecomposition:
+    """Compute the coreness of every vertex in ``O(m)`` time.
+
+    This is the array formulation of Batagelj–Zaversnik peeling: vertices are
+    kept in a single array ``vert`` sorted by current degree, with
+    ``bin_start[d]`` marking where degree-``d`` vertices begin.  Removing the
+    minimum-degree vertex and decrementing a neighbour's degree are both O(1)
+    swap-and-shift operations.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return CoreDecomposition(graph, empty.copy(), empty.copy())
+
+    indptr, indices = graph.indptr, graph.indices
+    deg = graph.degrees().astype(np.int64)
+    max_deg = int(deg.max()) if n else 0
+
+    # vert: vertices sorted by degree; pos[v]: index of v in vert;
+    # bin_start[d]: first index in vert holding a degree-d vertex.
+    counts = np.bincount(deg, minlength=max_deg + 1)
+    bin_start = np.zeros(max_deg + 2, dtype=np.int64)
+    np.cumsum(counts, out=bin_start[1:])
+    bin_start = bin_start[:-1].copy()
+    vert = np.argsort(deg, kind="stable").astype(np.int64)
+    pos = np.empty(n, dtype=np.int64)
+    pos[vert] = np.arange(n, dtype=np.int64)
+
+    # Plain Python ints in the hot loop: numpy scalar arithmetic is ~5x
+    # slower per operation than int arithmetic on small values.
+    vert_l = vert.tolist()
+    pos_l = pos.tolist()
+    deg_l = deg.tolist()
+    bin_start_l = bin_start.tolist()
+    indptr_l = indptr.tolist()
+    indices_l = indices.tolist()
+    core_l = deg_l.copy()
+
+    for i in range(n):
+        v = vert_l[i]
+        dv = deg_l[v]
+        core_l[v] = dv
+        for j in range(indptr_l[v], indptr_l[v + 1]):
+            u = indices_l[j]
+            du = deg_l[u]
+            if du > dv:
+                # Swap u with the first vertex of its bucket, then shrink
+                # the bucket from the left: u's degree drops by one.
+                first = bin_start_l[du]
+                w = vert_l[first]
+                if u != w:
+                    pu, pw = pos_l[u], first
+                    vert_l[first], vert_l[pu] = u, w
+                    pos_l[u], pos_l[w] = pw, pu
+                bin_start_l[du] = first + 1
+                deg_l[u] = du - 1
+
+    coreness = np.asarray(core_l, dtype=np.int64)
+    peel_order = np.asarray(vert_l, dtype=np.int64)
+    return CoreDecomposition(graph, coreness, peel_order)

@@ -1,0 +1,194 @@
+"""Incremental coreness maintenance under edge insertions and deletions.
+
+A production companion to the static machinery: graphs that the best-k
+algorithms monitor rarely stand still.  :class:`DynamicCoreness` keeps the
+coreness of every vertex current across single-edge updates using the
+subcore (traversal) algorithms of Sarıyüce et al. (PVLDB 2013), built on
+one fact: **one edge update changes any coreness by at most 1**, and only
+within the affected *subcore* — the vertices of coreness
+``K = min(c(u), c(v))`` reachable from the updated endpoints through
+vertices of coreness exactly ``K``.
+
+* **insert(u, v)**: optimistic local peel of the subcore.  A member can
+  rise to ``K + 1`` only if more than ``K`` of its neighbours either
+  already have coreness ``> K`` or are fellow members that also rise;
+  peeling members whose optimistic support is ``<= K`` leaves exactly the
+  risers.
+* **remove(u, v)**: pessimistic local peel.  Members whose support
+  (neighbours of coreness ``>= K``) falls below ``K`` drop to ``K - 1``,
+  cascading through the subcore.
+
+Amortised cost is proportional to the affected subcore's neighbourhood —
+usually a tiny fraction of the graph — versus O(m) for recomputation.
+The test suite replays random update streams against full recomputation
+after every step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import Graph
+from .decomposition import CoreDecomposition, core_decomposition
+
+__all__ = ["DynamicCoreness"]
+
+
+class DynamicCoreness:
+    """A mutable graph whose coreness is maintained across edge updates."""
+
+    def __init__(self, graph: Graph | None = None):
+        if graph is None:
+            self._adj: list[set[int]] = []
+            self._coreness: list[int] = []
+        else:
+            self._adj = [set(map(int, graph.neighbors(v))) for v in range(graph.num_vertices)]
+            self._coreness = core_decomposition(graph).coreness.tolist()
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Current vertex count."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Current edge count."""
+        return sum(len(nbrs) for nbrs in self._adj) // 2
+
+    def coreness(self, v: int | None = None) -> int | np.ndarray:
+        """Coreness of one vertex, or the full array when ``v`` is None."""
+        if v is None:
+            return np.asarray(self._coreness, dtype=np.int64)
+        return self._coreness[v]
+
+    @property
+    def kmax(self) -> int:
+        """Current degeneracy."""
+        return max(self._coreness, default=0)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge is currently present."""
+        return 0 <= u < len(self._adj) and v in self._adj[u]
+
+    def to_graph(self) -> Graph:
+        """Snapshot the current graph as an immutable CSR :class:`Graph`."""
+        edges = [(u, v) for u in range(len(self._adj)) for v in self._adj[u] if u < v]
+        return Graph.from_edges(edges, num_vertices=len(self._adj))
+
+    def decomposition(self) -> CoreDecomposition:
+        """A full :class:`CoreDecomposition` of the current snapshot.
+
+        Recomputed from scratch (the maintained coreness is only the
+        array); use when shells/orderings are needed, and as the oracle
+        the maintained values are tested against.
+        """
+        return core_decomposition(self.to_graph())
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add_vertex(self) -> int:
+        """Add an isolated vertex; returns its id."""
+        self._adj.append(set())
+        self._coreness.append(0)
+        return len(self._adj) - 1
+
+    def insert_edge(self, u: int, v: int) -> None:
+        """Insert the undirected edge ``(u, v)`` and update coreness.
+
+        Endpoints beyond the current vertex range are created.  Inserting
+        a self loop or a duplicate edge raises ``ValueError``.
+        """
+        if u == v:
+            raise ValueError("self loops are not allowed")
+        while max(u, v) >= len(self._adj):
+            self.add_vertex()
+        if v in self._adj[u]:
+            raise ValueError(f"edge ({u}, {v}) already present")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+        core = self._coreness
+        level = min(core[u], core[v])
+        root = u if core[u] <= core[v] else v
+        members = self._subcore(root, level)
+        # Optimistic support: neighbours already above the level, plus
+        # fellow members (which might all rise together).
+        support = {
+            w: sum(1 for x in self._adj[w] if core[x] > level or x in members)
+            for w in members
+        }
+        # Peel members that cannot reach level + 1.
+        stack = [w for w in members if support[w] <= level]
+        alive = set(members)
+        while stack:
+            w = stack.pop()
+            if w not in alive:
+                continue
+            alive.discard(w)
+            for x in self._adj[w]:
+                if x in alive and core[x] == level:
+                    support[x] -= 1
+                    if support[x] <= level:
+                        stack.append(x)
+        for w in alive:
+            core[w] = level + 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the undirected edge ``(u, v)`` and update coreness."""
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge ({u}, {v}) not present")
+        core = self._coreness
+        level = min(core[u], core[v])
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        if level == 0:
+            return
+
+        members: set[int] = set()
+        for endpoint in (u, v):
+            if core[endpoint] == level and endpoint not in members:
+                members |= self._subcore(endpoint, level)
+        if not members:
+            return
+        support = {
+            w: sum(1 for x in self._adj[w] if core[x] >= level)
+            for w in members
+        }
+        stack = [w for w in members if support[w] < level]
+        dropped: set[int] = set()
+        while stack:
+            w = stack.pop()
+            if w in dropped:
+                continue
+            dropped.add(w)
+            for x in self._adj[w]:
+                if x in members and x not in dropped:
+                    support[x] -= 1
+                    if support[x] < level:
+                        stack.append(x)
+        for w in dropped:
+            core[w] = level - 1
+
+    # ------------------------------------------------------------------
+    def _subcore(self, root: int, level: int) -> set[int]:
+        """Vertices of coreness ``level`` reachable from ``root`` through
+        vertices of coreness ``level`` (the affected candidate set)."""
+        core = self._coreness
+        if core[root] != level:
+            return set()
+        seen = {root}
+        stack = [root]
+        while stack:
+            w = stack.pop()
+            for x in self._adj[w]:
+                if core[x] == level and x not in seen:
+                    seen.add(x)
+                    stack.append(x)
+        return seen
+
+    def __repr__(self) -> str:
+        return f"DynamicCoreness(n={self.num_vertices}, m={self.num_edges}, kmax={self.kmax})"

@@ -1,0 +1,25 @@
+"""k-edge-connected-component extension: decomposition + best-k scoring.
+
+The third hierarchy (after cores and trusses) driven through the paper's
+generalised best-k machinery, as its introduction anticipates for k-ecc.
+"""
+
+from .bestk import (
+    BestEccResult,
+    baseline_kecc_set_scores,
+    best_kecc_set,
+    kecc_set_scores,
+)
+from .decomposition import EccDecomposition, ecc_decomposition, k_edge_components
+from .mincut import stoer_wagner
+
+__all__ = [
+    "BestEccResult",
+    "EccDecomposition",
+    "baseline_kecc_set_scores",
+    "best_kecc_set",
+    "ecc_decomposition",
+    "k_edge_components",
+    "kecc_set_scores",
+    "stoer_wagner",
+]

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class GraphFormatError(ReproError):
+    """An input file or edge stream could not be parsed into a graph."""
+
+
+class GraphIntegrityError(ReproError):
+    """A graph object violates a structural invariant.
+
+    Raised by :func:`repro.graph.validate.validate_graph` when a CSR graph is
+    internally inconsistent (unsorted adjacency, asymmetric edges, self loops,
+    out-of-range endpoints, ...).
+    """
+
+
+class UnknownMetricError(ReproError, KeyError):
+    """A community scoring metric name is not present in the registry."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = available
+        hint = f"; available: {', '.join(available)}" if available else ""
+        super().__init__(f"unknown community metric {name!r}{hint}")
+
+
+class MetricRequirementError(ReproError):
+    """A metric was evaluated without the primary values it requires.
+
+    For example, asking for ``clustering_coefficient`` from an algorithm run
+    that did not count triangles.
+    """
+
+
+class EmptyGraphError(ReproError):
+    """An operation that needs at least one vertex/edge got an empty graph."""
+
+
+class QueryError(ReproError):
+    """An application-level query is unsatisfiable or malformed.
+
+    Used by the size-constrained k-core search when the query vertex does not
+    admit any k-core of the requested size.
+    """

@@ -1,0 +1,47 @@
+"""Synthetic graph generators and the paper-dataset stand-in registry."""
+
+from .community import (
+    CoauthorshipNetwork,
+    coauthorship_graph,
+    collaboration_cliques,
+    planted_partition,
+)
+from .datasets import (
+    DATASETS,
+    DatasetSpec,
+    PaperStats,
+    bench_scale,
+    dataset_names,
+    get_spec,
+    load_dataset,
+)
+from .random_graphs import (
+    barabasi_albert,
+    chung_lu,
+    gnm_random_graph,
+    powerlaw_chung_lu,
+    powerlaw_degree_sequence,
+)
+from .rmat import rmat_graph
+from .smallworld import watts_strogatz
+
+__all__ = [
+    "CoauthorshipNetwork",
+    "DATASETS",
+    "DatasetSpec",
+    "PaperStats",
+    "barabasi_albert",
+    "bench_scale",
+    "chung_lu",
+    "coauthorship_graph",
+    "collaboration_cliques",
+    "dataset_names",
+    "get_spec",
+    "gnm_random_graph",
+    "load_dataset",
+    "planted_partition",
+    "powerlaw_chung_lu",
+    "powerlaw_degree_sequence",
+    "rmat_graph",
+    "watts_strogatz",
+]

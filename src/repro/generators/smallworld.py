@@ -1,0 +1,45 @@
+"""Watts–Strogatz small-world generator.
+
+High clustering with short paths — the regime where the clustering
+coefficient metric is informative.  Used as an ingredient of the brain
+network stand-in (Human-Jung), whose defining features are a very high
+average degree and strong local clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.builder import GraphBuilder
+from ..graph.csr import Graph
+
+__all__ = ["watts_strogatz"]
+
+
+def watts_strogatz(
+    num_vertices: int, ring_neighbors: int, rewire_prob: float, *, seed: int = 0
+) -> Graph:
+    """Ring lattice with ``ring_neighbors`` neighbours per side, rewired.
+
+    Each vertex is initially connected to its ``ring_neighbors`` nearest
+    neighbours on each side; every edge's far endpoint is then rewired to a
+    uniform random vertex with probability ``rewire_prob`` (duplicates and
+    self loops dropped by the builder).
+    """
+    if not 0 <= rewire_prob <= 1:
+        raise ValueError("rewire_prob must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n = int(num_vertices)
+    k = int(ring_neighbors)
+    if n <= 2 * k:
+        raise ValueError("need num_vertices > 2 * ring_neighbors")
+    builder = GraphBuilder()
+    for v in range(n):
+        builder.add_vertex(v)
+    for v in range(n):
+        for offset in range(1, k + 1):
+            u = (v + offset) % n
+            if rng.random() < rewire_prob:
+                u = int(rng.integers(0, n))
+            builder.add_edge(v, u)
+    return builder.build()

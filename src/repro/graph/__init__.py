@@ -1,0 +1,60 @@
+"""Graph substrate: CSR storage, builders, I/O, views, validation.
+
+The package exposes one canonical immutable representation
+(:class:`~repro.graph.csr.Graph`), a cleaning builder
+(:class:`~repro.graph.builder.GraphBuilder`), a mutable reference structure
+for peeling oracles (:class:`~repro.graph.adjacency.AdjacencyGraph`), and the
+subgraph/connectivity helpers the algorithms are built on.
+"""
+
+from .adjacency import AdjacencyGraph
+from .builder import GraphBuilder
+from .csr import Graph
+from .io import (
+    LoadedGraph,
+    load_edge_list,
+    load_metis,
+    load_npz,
+    save_edge_list,
+    save_metis,
+    save_npz,
+)
+from .stats import (
+    GraphSummary,
+    degree_assortativity,
+    degree_histogram,
+    graph_summary,
+    powerlaw_exponent_mle,
+)
+from .validate import validate_graph
+from .views import (
+    component_of,
+    connected_components,
+    induced_subgraph,
+    is_connected,
+    subgraph_counts,
+)
+
+__all__ = [
+    "AdjacencyGraph",
+    "Graph",
+    "GraphBuilder",
+    "GraphSummary",
+    "LoadedGraph",
+    "component_of",
+    "degree_assortativity",
+    "degree_histogram",
+    "graph_summary",
+    "powerlaw_exponent_mle",
+    "connected_components",
+    "induced_subgraph",
+    "is_connected",
+    "load_edge_list",
+    "load_metis",
+    "load_npz",
+    "save_edge_list",
+    "save_metis",
+    "save_npz",
+    "subgraph_counts",
+    "validate_graph",
+]

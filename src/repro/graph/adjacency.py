@@ -1,0 +1,132 @@
+"""Mutable adjacency-set graph used by the naive reference algorithms.
+
+The paper's baselines (Sections III-A and IV-B) and our test oracles peel
+vertices out of a working copy of the graph.  Doing that on the immutable CSR
+representation would mean rebuilding arrays per deletion, so the reference
+code paths use this simple dict-of-sets structure instead.  It is O(1) for
+edge insertion/deletion and vertex removal is proportional to the degree.
+
+This class is intentionally small and obvious: it is the *oracle* against
+which the optimised implementations are property-tested, so clarity beats
+speed here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .csr import Graph
+
+__all__ = ["AdjacencyGraph"]
+
+
+class AdjacencyGraph:
+    """A mutable undirected simple graph backed by ``dict[int, set[int]]``."""
+
+    def __init__(self, num_vertices: int = 0):
+        self._adj: dict[int, set[int]] = {v: set() for v in range(num_vertices)}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "AdjacencyGraph":
+        """Deep-copy a CSR :class:`Graph` into a mutable adjacency graph."""
+        out = cls()
+        out._adj = {v: set(map(int, graph.neighbors(v))) for v in range(graph.num_vertices)}
+        return out
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[int, int]]) -> "AdjacencyGraph":
+        """Build from integer edge pairs, ignoring self loops/duplicates."""
+        out = cls()
+        for u, v in edges:
+            if u != v:
+                out.add_edge(int(u), int(v))
+        return out
+
+    def copy(self) -> "AdjacencyGraph":
+        """Return an independent deep copy."""
+        out = AdjacencyGraph()
+        out._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        return out
+
+    def to_csr(self) -> Graph:
+        """Convert to an immutable CSR graph.
+
+        Vertex ids are preserved; ids must therefore be dense ``0..n-1``
+        *in the keys currently present*.  Removed vertices leave holes, so
+        callers that peeled vertices should relabel first (the naive
+        algorithms only ever need vertex *sets*, not converted graphs, after
+        peeling).
+        """
+        n = (max(self._adj) + 1) if self._adj else 0
+        return Graph.from_edges(list(self.edges()), num_vertices=n)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently present."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges currently present."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over vertex ids currently present."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over undirected edges as ``(u, v)`` with ``u < v``."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def neighbors(self, v: int) -> set[int]:
+        """The neighbour set of ``v`` (live view; do not mutate)."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v``."""
+        return len(self._adj[v])
+
+    def has_vertex(self, v: int) -> bool:
+        """Whether ``v`` is currently present."""
+        return v in self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` is currently present."""
+        return u in self._adj and v in self._adj[u]
+
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> None:
+        """Add an isolated vertex (no-op if present)."""
+        self._adj.setdefault(v, set())
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add an undirected edge, creating endpoints as needed."""
+        if u == v:
+            raise ValueError("self loops are not allowed")
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove an undirected edge (KeyError if absent)."""
+        self._adj[u].remove(v)
+        self._adj[v].remove(u)
+
+    def remove_vertex(self, v: int) -> None:
+        """Remove ``v`` and all incident edges."""
+        for u in self._adj.pop(v):
+            self._adj[u].discard(v)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, v: object) -> bool:
+        return v in self._adj
+
+    def __repr__(self) -> str:
+        return f"AdjacencyGraph(n={self.num_vertices}, m={self.num_edges})"

@@ -1,0 +1,209 @@
+"""Immutable compressed-sparse-row (CSR) graph.
+
+:class:`Graph` is the canonical in-memory representation used by every
+algorithm in this package.  It stores an undirected, unweighted simple graph
+as two ``numpy`` arrays:
+
+``indptr``
+    ``int64`` array of length ``n + 1``; the neighbours of vertex ``v`` live
+    in ``indices[indptr[v]:indptr[v + 1]]``.
+``indices``
+    ``int64`` array of length ``2 m``; each undirected edge appears twice,
+    once in each endpoint's adjacency slice.  Within a slice the neighbours
+    are sorted by ascending vertex id.
+
+The layout matches the paper's storage model (Section III-B): the whole graph
+occupies ``O(m)`` space and an adjacency slice is a contiguous array, which is
+what makes the position-tag ordering of Algorithm 1 possible.
+
+Vertices are always the integers ``0 .. n - 1``.  Use
+:class:`repro.graph.builder.GraphBuilder` to construct a :class:`Graph` from
+arbitrary hashable vertex labels, duplicate edges, or self loops; the builder
+cleans the input and remembers the label mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import GraphFormatError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable undirected simple graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        Row-pointer array of length ``num_vertices + 1``.
+    indices:
+        Concatenated, per-vertex-sorted adjacency array of length
+        ``2 * num_edges``.
+    validate:
+        When true (the default) cheap structural checks are performed; pass
+        ``False`` only for arrays produced by trusted internal code.
+    """
+
+    __slots__ = ("_indptr", "_indices")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if validate:
+            _check_shape(indptr, indices)
+        self._indptr = indptr
+        self._indices = indices
+        self._indptr.setflags(write=False)
+        self._indices.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[int, int]], num_vertices: int | None = None) -> "Graph":
+        """Build a graph from an iterable of integer edge pairs.
+
+        The edge list may be in any order but must already be *clean*: no
+        self loops and no duplicate edges (in either orientation).  Use
+        :class:`~repro.graph.builder.GraphBuilder` for dirty input.
+
+        Parameters
+        ----------
+        edges:
+            Iterable of ``(u, v)`` pairs with ``0 <= u, v``.
+        num_vertices:
+            Total vertex count; defaults to ``max endpoint + 1``.  Vertices
+            with no incident edge are allowed (they are isolated).
+        """
+        pairs = np.asarray(list(edges), dtype=np.int64)
+        if pairs.size == 0:
+            n = int(num_vertices or 0)
+            return cls(np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64), validate=False)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise GraphFormatError("edges must be an iterable of (u, v) pairs")
+        if pairs.min() < 0:
+            raise GraphFormatError("vertex ids must be non-negative")
+        if (pairs[:, 0] == pairs[:, 1]).any():
+            raise GraphFormatError("self loops are not allowed; use GraphBuilder to drop them")
+        n = int(pairs.max()) + 1
+        if num_vertices is not None:
+            if num_vertices < n:
+                raise GraphFormatError(f"num_vertices={num_vertices} smaller than max endpoint {n - 1}")
+            n = int(num_vertices)
+        # Symmetrise: every undirected edge appears in both directions.
+        src = np.concatenate([pairs[:, 0], pairs[:, 1]])
+        dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
+        order = np.lexsort((dst, src))
+        src = src[order]
+        dst = dst[order]
+        dup = (src[1:] == src[:-1]) & (dst[1:] == dst[:-1])
+        if dup.any():
+            raise GraphFormatError("duplicate edges found; use GraphBuilder to deduplicate")
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(indptr, dst, validate=False)
+
+    @classmethod
+    def empty(cls, num_vertices: int = 0) -> "Graph":
+        """Return a graph with ``num_vertices`` isolated vertices."""
+        return cls(np.zeros(num_vertices + 1, dtype=np.int64), np.empty(0, dtype=np.int64), validate=False)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return len(self._indices) // 2
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Read-only row-pointer array (length ``n + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only concatenated adjacency array (length ``2 m``)."""
+        return self._indices
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v`` in the whole graph."""
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Array of all vertex degrees (length ``n``)."""
+        return np.diff(self._indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Read-only array of neighbours of ``v``, sorted by vertex id."""
+        return self._indices[self._indptr[v]:self._indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` is present (O(log deg))."""
+        if not (0 <= u < self.num_vertices and 0 <= v < self.num_vertices):
+            return False
+        nbrs = self.neighbors(u)
+        pos = int(np.searchsorted(nbrs, v))
+        return pos < len(nbrs) and int(nbrs[pos]) == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over undirected edges as ``(u, v)`` with ``u < v``."""
+        indptr, indices = self._indptr, self._indices
+        for u in range(self.num_vertices):
+            for v in indices[indptr[u]:indptr[u + 1]]:
+                if u < v:
+                    yield (u, int(v))
+
+    def edge_array(self) -> np.ndarray:
+        """All undirected edges as an ``(m, 2)`` array with ``u < v`` rows."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees())
+        mask = src < self._indices
+        return np.column_stack([src[mask], self._indices[mask]])
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_vertices))
+
+    def __contains__(self, v: object) -> bool:
+        return isinstance(v, (int, np.integer)) and 0 <= int(v) < self.num_vertices
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:  # immutable, so hashable by content digest
+        return hash((self._indptr.tobytes(), self._indices.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+
+def _check_shape(indptr: np.ndarray, indices: np.ndarray) -> None:
+    """Cheap structural checks run on every public construction."""
+    if indptr.ndim != 1 or len(indptr) < 1:
+        raise GraphFormatError("indptr must be a 1-D array of length >= 1")
+    if indptr[0] != 0 or indptr[-1] != len(indices):
+        raise GraphFormatError("indptr must start at 0 and end at len(indices)")
+    if len(indptr) > 1 and (np.diff(indptr) < 0).any():
+        raise GraphFormatError("indptr must be non-decreasing")
+    if len(indices) and (indices.min() < 0 or indices.max() >= len(indptr) - 1):
+        raise GraphFormatError("adjacency index out of range")

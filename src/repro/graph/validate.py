@@ -1,0 +1,57 @@
+"""Structural validation for CSR graphs.
+
+:func:`validate_graph` performs the full battery of invariant checks:
+
+* ``indptr`` monotone, starting at 0, ending at ``len(indices)``;
+* adjacency slices sorted strictly ascending (sorted + no duplicates);
+* no self loops;
+* symmetry — ``v in N(u)`` iff ``u in N(v)``.
+
+The cheap subset of these runs automatically on public :class:`Graph`
+construction; this module is the exhaustive version used by tests, the CLI's
+``validate`` command, and anyone ingesting untrusted data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphIntegrityError
+from .csr import Graph
+
+__all__ = ["validate_graph"]
+
+
+def validate_graph(graph: Graph) -> None:
+    """Raise :class:`GraphIntegrityError` if ``graph`` violates an invariant."""
+    indptr, indices = graph.indptr, graph.indices
+    n = graph.num_vertices
+
+    if indptr[0] != 0 or indptr[-1] != len(indices):
+        raise GraphIntegrityError("indptr endpoints inconsistent with indices length")
+    if (np.diff(indptr) < 0).any():
+        raise GraphIntegrityError("indptr is not monotone non-decreasing")
+    if len(indices):
+        if indices.min() < 0 or indices.max() >= n:
+            raise GraphIntegrityError("adjacency index out of range")
+        if len(indices) % 2 != 0:
+            raise GraphIntegrityError("odd adjacency length: some edge lacks its mirror")
+
+    degrees = np.diff(indptr)
+    src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+
+    if (src == indices).any():
+        raise GraphIntegrityError("self loop present")
+
+    # Sorted strictly ascending within each slice: a violation is a position
+    # where the neighbour does not increase while the source stays the same.
+    if len(indices) > 1:
+        same_row = src[1:] == src[:-1]
+        if (same_row & (indices[1:] <= indices[:-1])).any():
+            raise GraphIntegrityError("adjacency slice unsorted or contains duplicates")
+
+    # Symmetry: the multiset of (u, v) arcs equals the multiset of (v, u).
+    forward = src * np.int64(n) + indices
+    backward = indices * np.int64(n) + src
+    if not np.array_equal(np.sort(forward), np.sort(backward)):
+        raise GraphIntegrityError("adjacency is not symmetric")

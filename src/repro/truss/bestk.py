@@ -1,0 +1,102 @@
+"""Best k for the k-truss set — the paper's Section VI-B extension, realised.
+
+The k-truss *vertex* set is ``{v : some incident edge has truss >= k}``;
+these sets nest exactly like k-core sets (truss numbers are monotone under
+containment), so the generalised level machinery of
+:mod:`repro.truss.levels` applies with the vertex truss level in the role
+of coreness.
+
+Scores are computed for the subgraph **induced by the k-truss vertex set**
+— the same vertex-set semantics as every other metric in this package.  A
+from-scratch baseline is included for benchmarking, mirroring Section
+III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..core.metrics import Metric, get_metric
+from ..core.primary import graph_totals, primary_values
+from .decomposition import TrussDecomposition, truss_decomposition
+from .levels import LevelSetScores, level_set_scores
+
+__all__ = [
+    "BestTrussResult",
+    "ktruss_set_scores",
+    "baseline_ktruss_set_scores",
+    "best_ktruss_set",
+]
+
+
+@dataclass(frozen=True)
+class BestTrussResult:
+    """Best k for the k-truss set under one metric."""
+
+    metric_name: str
+    k: int
+    score: float
+    scores: LevelSetScores
+    vertices: np.ndarray
+
+    def __repr__(self) -> str:
+        return (
+            f"BestTrussResult(metric={self.metric_name!r}, k={self.k}, "
+            f"score={self.score:.6g}, |V|={len(self.vertices)})"
+        )
+
+
+def ktruss_set_scores(
+    graph: Graph,
+    metric: str | Metric,
+    *,
+    decomposition: TrussDecomposition | None = None,
+) -> LevelSetScores:
+    """Score every k-truss vertex set incrementally (optimal path)."""
+    if decomposition is None:
+        decomposition = truss_decomposition(graph)
+    return level_set_scores(graph, decomposition.vertex_level, metric)
+
+
+def baseline_ktruss_set_scores(
+    graph: Graph,
+    metric: str | Metric,
+    *,
+    decomposition: TrussDecomposition | None = None,
+) -> LevelSetScores:
+    """From-scratch baseline: recompute every k-truss set independently."""
+    metric = get_metric(metric)
+    if decomposition is None:
+        decomposition = truss_decomposition(graph)
+    totals = graph_totals(graph)
+    tmax = int(decomposition.vertex_level.max()) if graph.num_vertices else 0
+    values = []
+    scores = np.full(tmax + 1, np.nan)
+    for k in range(tmax + 1):
+        members = decomposition.ktruss_vertices(k) if k > 0 else np.arange(graph.num_vertices)
+        pv = primary_values(graph, members, count_triangles=metric.requires_triangles)
+        values.append(pv)
+        scores[k] = metric.score(pv, totals)
+    return LevelSetScores(metric, totals, scores, tuple(values))
+
+
+def best_ktruss_set(
+    graph: Graph,
+    metric: str | Metric,
+    *,
+    decomposition: TrussDecomposition | None = None,
+) -> BestTrussResult:
+    """Find the k maximising the metric over all k-truss sets.
+
+    Ties break towards the largest k, consistent with the core variant.
+    """
+    metric = get_metric(metric)
+    if decomposition is None:
+        decomposition = truss_decomposition(graph)
+    scores = ktruss_set_scores(graph, metric, decomposition=decomposition)
+    k = scores.best_k()
+    members = np.flatnonzero(decomposition.vertex_level >= k)
+    return BestTrussResult(metric.name, k, float(scores.scores[k]), scores, members)

@@ -1,0 +1,38 @@
+"""Weighted (s-core) extension — paper Section VII's weighted remark, realised.
+
+Strength-based s-core decomposition plus the weighted best-k machinery:
+score every s-core set under weighted community metrics in one top-down
+pass, exactly as Algorithm 2 does for unweighted cores.
+"""
+
+from .bestk import (
+    BestSCoreResult,
+    SCoreSetScores,
+    baseline_s_core_set_scores,
+    best_s_core_set,
+    s_core_set_scores,
+)
+from .decomposition import WeightedDecomposition, arc_weights, s_core_decomposition
+from .metrics import (
+    WeightedMetric,
+    WeightedPrimaryValues,
+    WeightedTotals,
+    available_weighted_metrics,
+    get_weighted_metric,
+)
+
+__all__ = [
+    "BestSCoreResult",
+    "SCoreSetScores",
+    "WeightedDecomposition",
+    "WeightedMetric",
+    "WeightedPrimaryValues",
+    "WeightedTotals",
+    "arc_weights",
+    "available_weighted_metrics",
+    "baseline_s_core_set_scores",
+    "best_s_core_set",
+    "get_weighted_metric",
+    "s_core_decomposition",
+    "s_core_set_scores",
+]

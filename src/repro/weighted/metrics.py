@@ -1,0 +1,126 @@
+"""Weighted community scoring metrics.
+
+The weighted analogues of the paper's primary-value metrics: edge counts
+are replaced by edge-weight sums.  A separate (small) registry is kept
+because the weighted primary values are real numbers, not integers, and
+the weighted scores are defined over strengths rather than degrees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import UnknownMetricError
+
+__all__ = [
+    "WeightedPrimaryValues",
+    "WeightedTotals",
+    "WeightedMetric",
+    "get_weighted_metric",
+    "available_weighted_metrics",
+]
+
+
+@dataclass(frozen=True)
+class WeightedPrimaryValues:
+    """Primary values of a weighted subgraph."""
+
+    num_vertices: int
+    #: Total weight of internal edges.
+    weight_inside: float
+    #: Total weight of boundary edges.
+    weight_boundary: float
+
+    def __post_init__(self) -> None:
+        if self.num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+
+
+@dataclass(frozen=True)
+class WeightedTotals:
+    """Host-graph totals for the relative weighted metrics."""
+
+    num_vertices: int
+    total_weight: float
+
+
+@dataclass(frozen=True)
+class WeightedMetric:
+    """A weighted community metric (higher is better)."""
+
+    name: str
+    fn: Callable[[WeightedPrimaryValues, WeightedTotals], float]
+    description: str = ""
+
+    def score(self, values: WeightedPrimaryValues, totals: WeightedTotals) -> float:
+        """Score one weighted subgraph; ``nan`` when empty."""
+        if values.num_vertices == 0:
+            return math.nan
+        return self.fn(values, totals)
+
+
+def _avg_strength(v: WeightedPrimaryValues, _: WeightedTotals) -> float:
+    return 2.0 * v.weight_inside / v.num_vertices
+
+
+def _density(v: WeightedPrimaryValues, _: WeightedTotals) -> float:
+    if v.num_vertices < 2:
+        return 0.0
+    return 2.0 * v.weight_inside / (v.num_vertices * (v.num_vertices - 1))
+
+
+def _conductance(v: WeightedPrimaryValues, _: WeightedTotals) -> float:
+    volume = 2.0 * v.weight_inside + v.weight_boundary
+    if volume == 0:
+        return 1.0
+    return 1.0 - v.weight_boundary / volume
+
+
+def _cut_ratio(v: WeightedPrimaryValues, t: WeightedTotals) -> float:
+    outside = t.num_vertices - v.num_vertices
+    possible = v.num_vertices * outside
+    if possible == 0:
+        return 1.0
+    return 1.0 - v.weight_boundary / possible
+
+
+def _modularity(v: WeightedPrimaryValues, t: WeightedTotals) -> float:
+    if t.total_weight == 0:
+        return 0.0
+    fraction = v.weight_inside / t.total_weight
+    expected = (2.0 * v.weight_inside + v.weight_boundary) / (2.0 * t.total_weight)
+    return fraction - expected * expected
+
+
+_REGISTRY = {
+    metric.name: metric
+    for metric in (
+        WeightedMetric("weighted_average_degree", _avg_strength,
+                       "2 W(S) / n(S): mean vertex strength inside S"),
+        WeightedMetric("weighted_density", _density,
+                       "2 W(S) / (n(S)(n(S)-1)): weight per possible pair"),
+        WeightedMetric("weighted_conductance", _conductance,
+                       "1 - Wb / (2 W + Wb): strength-weighted conductance"),
+        WeightedMetric("weighted_cut_ratio", _cut_ratio,
+                       "1 - Wb / (n(S)(n - n(S))): boundary weight per possible pair"),
+        WeightedMetric("weighted_modularity", _modularity,
+                       "weighted single-community modularity contribution"),
+    )
+}
+
+
+def get_weighted_metric(name: str | WeightedMetric) -> WeightedMetric:
+    """Resolve a weighted metric by name (or pass an instance through)."""
+    if isinstance(name, WeightedMetric):
+        return name
+    metric = _REGISTRY.get(name)
+    if metric is None:
+        raise UnknownMetricError(name, available_weighted_metrics())
+    return metric
+
+
+def available_weighted_metrics() -> tuple[str, ...]:
+    """Names of all weighted metrics, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,76 @@
+"""Tests for the exact maximum-clique solver."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import greedy_clique, is_clique, max_clique
+from repro.graph import Graph
+from conftest import random_graph, zoo_params
+
+
+def nx_max_clique_size(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(graph.edges())
+    return max((len(c) for c in nx.find_cliques(g)), default=0)
+
+
+class TestCorrectness:
+    def test_figure2_max_clique_is_k4(self, figure2):
+        clique = max_clique(figure2)
+        assert len(clique) == 4
+        assert is_clique(figure2, clique)
+
+    def test_clique_graph(self, clique6):
+        assert len(max_clique(clique6)) == 6
+
+    def test_triangle_free(self, path5, star, cycle6):
+        for g in (path5, star, cycle6):
+            clique = max_clique(g)
+            assert len(clique) == 2
+            assert is_clique(g, clique)
+
+    @zoo_params()
+    def test_matches_networkx(self, graph):
+        if graph.num_edges == 0:
+            return
+        ours = max_clique(graph)
+        assert is_clique(graph, ours)
+        assert len(ours) == nx_max_clique_size(graph)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx_random(self, seed):
+        g = random_graph(25, 120, seed)
+        ours = max_clique(g)
+        assert is_clique(g, ours)
+        assert len(ours) == nx_max_clique_size(g)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dense_random(self, seed):
+        g = random_graph(18, 120, seed + 100)
+        ours = max_clique(g)
+        assert is_clique(g, ours)
+        assert len(ours) == nx_max_clique_size(g)
+
+    def test_empty_and_trivial(self):
+        assert len(max_clique(Graph.empty(0))) == 0
+        assert max_clique(Graph.empty(3)).tolist() == [0]
+        assert len(max_clique(Graph.from_edges([(0, 1)]))) == 2
+
+
+class TestHelpers:
+    def test_is_clique(self, figure2):
+        assert is_clique(figure2, np.array([0, 1, 2, 3]))
+        assert not is_clique(figure2, np.array([0, 1, 4]))
+        assert is_clique(figure2, np.array([7]))
+
+    def test_greedy_clique_is_a_clique(self):
+        for seed in range(4):
+            g = random_graph(30, 150, seed)
+            clique = greedy_clique(g)
+            assert is_clique(g, clique)
+            assert len(clique) >= 2
+
+    def test_greedy_lower_bounds_exact(self, figure2):
+        assert len(greedy_clique(figure2)) <= len(max_clique(figure2))

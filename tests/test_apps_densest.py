@@ -1,0 +1,90 @@
+"""Tests for the densest-subgraph solvers (Table VIII machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    core_app,
+    densest_subgraph_exact,
+    greedy_peel_densest,
+    opt_d,
+)
+from repro.graph import Graph
+from conftest import random_graph, zoo_params
+
+
+def k4_plus_tail():
+    return Graph.from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+
+
+class TestExactSolver:
+    def test_k4_with_tail(self):
+        result = densest_subgraph_exact(k4_plus_tail())
+        assert set(result.vertices.tolist()) == {0, 1, 2, 3}
+        assert result.avg_degree == pytest.approx(3.0)
+
+    def test_clique_is_densest(self, clique6):
+        result = densest_subgraph_exact(clique6)
+        assert len(result.vertices) == 6
+        assert result.avg_degree == pytest.approx(5.0)
+
+    def test_path_density(self, path5):
+        result = densest_subgraph_exact(path5)
+        # Any prefix of a path has density < the whole path's 4/5.
+        assert result.avg_degree == pytest.approx(2 * 4 / 5)
+
+    def test_empty_graph(self):
+        result = densest_subgraph_exact(Graph.empty(3))
+        assert result.avg_degree == 0.0
+
+
+class TestApproximationQuality:
+    @zoo_params()
+    def test_half_approximation_bounds(self, graph):
+        if graph.num_edges == 0:
+            return
+        exact = densest_subgraph_exact(graph)
+        for solver in (opt_d, core_app, greedy_peel_densest):
+            approx = solver(graph)
+            assert approx.avg_degree <= exact.avg_degree + 1e-9
+            assert approx.avg_degree >= exact.avg_degree / 2 - 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bounds_on_random(self, seed):
+        g = random_graph(30, 90, seed)
+        exact = densest_subgraph_exact(g)
+        for solver in (opt_d, core_app, greedy_peel_densest):
+            approx = solver(g)
+            assert approx.avg_degree <= exact.avg_degree + 1e-9
+            assert approx.avg_degree >= exact.avg_degree / 2 - 1e-9
+
+    def test_opt_d_reports_true_subgraph_density(self, figure2):
+        result = opt_d(figure2)
+        members = set(result.vertices.tolist())
+        inside = sum(1 for u, v in figure2.edges() if u in members and v in members)
+        assert result.avg_degree == pytest.approx(2 * inside / len(members))
+
+    def test_core_app_connected_refinement(self):
+        # Two disjoint cliques of different size: the densest component is K5.
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        edges += [(5 + i, 5 + j) for i in range(3) for j in range(i + 1, 3)]
+        g = Graph.from_edges(edges)
+        result = core_app(g)
+        assert set(result.vertices.tolist()) == set(range(5))
+        assert result.avg_degree == pytest.approx(4.0)
+
+
+class TestResultObject:
+    def test_density_property(self):
+        result = opt_d(k4_plus_tail())
+        assert result.density == pytest.approx(result.avg_degree / 2)
+
+    def test_method_labels(self):
+        g = k4_plus_tail()
+        assert opt_d(g).method == "Opt-D"
+        assert core_app(g).method == "CoreApp"
+        assert greedy_peel_densest(g).method == "GreedyPeel"
+        assert densest_subgraph_exact(g).method == "Exact"
+
+    def test_repr(self):
+        assert "davg=3.000" in repr(opt_d(k4_plus_tail()))

@@ -1,0 +1,94 @@
+"""Unit tests for the Dinic max-flow substrate."""
+
+import pytest
+
+from repro.apps import FlowNetwork
+
+
+class TestMaxFlow:
+    def test_single_edge(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 5)
+        assert net.max_flow(0, 1) == 5
+
+    def test_series_bottleneck(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 10)
+        net.add_edge(1, 2, 3)
+        assert net.max_flow(0, 2) == 3
+
+    def test_parallel_paths(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 2)
+        net.add_edge(1, 3, 2)
+        net.add_edge(0, 2, 3)
+        net.add_edge(2, 3, 3)
+        assert net.max_flow(0, 3) == 5
+
+    def test_classic_clrs_network(self):
+        # CLRS figure 26.1: max flow 23.
+        net = FlowNetwork(6)
+        s, v1, v2, v3, v4, t = range(6)
+        net.add_edge(s, v1, 16)
+        net.add_edge(s, v2, 13)
+        net.add_edge(v1, v3, 12)
+        net.add_edge(v2, v1, 4)
+        net.add_edge(v2, v4, 14)
+        net.add_edge(v3, v2, 9)
+        net.add_edge(v3, t, 20)
+        net.add_edge(v4, v3, 7)
+        net.add_edge(v4, t, 4)
+        assert net.max_flow(s, t) == 23
+
+    def test_no_path(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 4)
+        assert net.max_flow(0, 2) == 0
+
+    def test_requires_residual_path(self):
+        # Flow must route through the residual arc to reach 4 units.
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 2)
+        net.add_edge(0, 2, 2)
+        net.add_edge(1, 3, 2)
+        net.add_edge(2, 3, 2)
+        net.add_edge(1, 2, 1)
+        assert net.max_flow(0, 3) == 4
+
+
+class TestMinCut:
+    def test_min_cut_side(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1)
+        net.add_edge(1, 2, 10)
+        net.max_flow(0, 2)
+        assert net.min_cut_side(0) == [0]
+
+    def test_cut_capacity_equals_flow(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 3)
+        net.add_edge(0, 2, 2)
+        net.add_edge(1, 3, 2)
+        net.add_edge(2, 3, 3)
+        flow = net.max_flow(0, 3)
+        side = set(net.min_cut_side(0))
+        assert 0 in side and 3 not in side
+        assert flow == 4
+
+
+class TestValidation:
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1)
+
+    def test_same_source_sink_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.max_flow(0, 0)
+
+    def test_flow_on_arc(self):
+        net = FlowNetwork(2)
+        arc = net.add_edge(0, 1, 5)
+        net.max_flow(0, 1)
+        assert net.flow_on(arc) == 5

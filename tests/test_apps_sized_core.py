@@ -1,0 +1,113 @@
+"""Tests for the Opt-SC size-constrained k-core engine (Table IX machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import OptSC
+from repro.errors import QueryError
+from repro.generators import coauthorship_graph
+from repro.graph import Graph
+from conftest import random_graph
+
+
+@pytest.fixture(scope="module")
+def dblp_engine():
+    net = coauthorship_graph(
+        num_background_authors=800, num_papers=1000, num_topics=12, seed=7
+    )
+    return net, OptSC(net.graph)
+
+
+class TestQueryValidation:
+    def test_rejects_h_below_k_plus_one(self, figure2):
+        engine = OptSC(figure2)
+        with pytest.raises(QueryError, match="k\\+1"):
+            engine.query(0, 3, 3)
+
+    def test_rejects_low_coreness_vertex(self, figure2):
+        engine = OptSC(figure2)
+        with pytest.raises(QueryError, match="coreness"):
+            engine.query(4, 3, 4)  # v5 has coreness 2
+
+    def test_rejects_unsatisfiable_size(self, figure2):
+        engine = OptSC(figure2)
+        with pytest.raises(QueryError, match="size"):
+            engine.query(0, 3, 100)
+
+
+class TestResultProperties:
+    def test_exact_core_size_returned_unchanged(self, figure2):
+        engine = OptSC(figure2)
+        result = engine.query(0, 3, 4)
+        assert sorted(result.vertices.tolist()) == [0, 1, 2, 3]
+        assert result.hits()
+
+    def test_result_contains_query_vertex(self, dblp_engine):
+        net, engine = dblp_engine
+        rng = np.random.default_rng(3)
+        from repro.core import core_decomposition
+        decomp = core_decomposition(net.graph)
+        candidates = np.flatnonzero(decomp.coreness >= 4)
+        for v in rng.choice(candidates, size=8, replace=False):
+            result = engine.query(int(v), 3, 40)
+            assert int(v) in set(result.vertices.tolist())
+
+    def test_result_is_k_core(self, dblp_engine):
+        net, engine = dblp_engine
+        graph = net.graph
+        rng = np.random.default_rng(5)
+        from repro.core import core_decomposition
+        decomp = core_decomposition(graph)
+        candidates = np.flatnonzero(decomp.coreness >= 5)
+        for v in rng.choice(candidates, size=5, replace=False):
+            result = engine.query(int(v), 4, 30)
+            members = set(result.vertices.tolist())
+            for u in members:
+                inside = sum(1 for w in graph.neighbors(u) if int(w) in members)
+                assert inside >= 4
+
+    def test_deviation_and_hits(self):
+        from repro.apps import SizedCoreResult
+        r = SizedCoreResult(np.arange(48), k=3, target_size=50, source_node=0)
+        assert r.deviation() == pytest.approx(0.04)
+        assert r.hits()
+        r2 = SizedCoreResult(np.arange(40), k=3, target_size=50, source_node=0)
+        assert not r2.hits()
+        r3 = SizedCoreResult(np.arange(0), k=3, target_size=50, source_node=0)
+        assert not r3.hits()
+
+    def test_planted_lab_query(self, dblp_engine):
+        net, engine = dblp_engine
+        lab_member = int(net.lab[0])
+        result = engine.query(lab_member, 10, 18)
+        members = set(result.vertices.tolist())
+        assert lab_member in members
+        # The only >=10-core containing a lab member is the K18 itself.
+        assert members == set(net.lab.tolist())
+        assert result.hits()
+
+
+class TestHitRateShape:
+    def test_easier_queries_hit_more(self, dblp_engine):
+        """Table IX shape: hit rate falls as k approaches the coreness."""
+        net, engine = dblp_engine
+        from repro.core import core_decomposition
+        decomp = core_decomposition(net.graph)
+        rng = np.random.default_rng(11)
+
+        def hit_rate(k, min_coreness, h=40, queries=10):
+            candidates = np.flatnonzero(decomp.coreness >= min_coreness)
+            if len(candidates) < queries:
+                return None
+            hits = 0
+            for v in rng.choice(candidates, size=queries, replace=False):
+                try:
+                    hits += engine.query(int(v), k, h).hits()
+                except QueryError:
+                    pass
+            return hits / queries
+
+        easy = hit_rate(k=3, min_coreness=6)
+        hard = hit_rate(k=6, min_coreness=6)
+        assert easy is not None and hard is not None
+        assert easy >= hard

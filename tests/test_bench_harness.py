@@ -1,0 +1,146 @@
+"""Tests for the benchmark harness primitives (timers, tables, figures)."""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    RunRecord,
+    Series,
+    TextTable,
+    TimeBudget,
+    Timer,
+    format_seconds,
+    format_value,
+    render_series,
+    save_series_csv,
+    time_call,
+    windowed_average,
+)
+
+
+class TestTimers:
+    def test_timer_context(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.seconds >= 0.009
+
+    def test_time_call(self):
+        result, seconds = time_call(sum, [1, 2, 3])
+        assert result == 6
+        assert seconds >= 0
+
+    def test_run_record_phases(self):
+        record = RunRecord("x")
+        with record.phase("a"):
+            pass
+        record.add("b", 2.0)
+        record.add("b", 1.0)
+        assert record.phases["b"] == 3.0
+        assert record.total >= 3.0
+        assert record.render_total() != "DNF"
+
+    def test_run_record_dnf(self):
+        record = RunRecord("x", dnf=True)
+        assert record.render_total() == "DNF"
+
+
+class TestTimeBudget:
+    def test_default_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DNF_OPS", "123")
+        assert TimeBudget().max_ops == 123
+
+    def test_bad_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DNF_OPS", "not-a-number")
+        assert TimeBudget().max_ops == TimeBudget.DEFAULT_OPS
+
+    def test_allows(self):
+        budget = TimeBudget(100)
+        assert budget.allows(100)
+        assert not budget.allows(101)
+
+    def test_triangle_estimates_heavier(self):
+        plain = TimeBudget.baseline_set_ops(1000, 10, triangles=False)
+        tri = TimeBudget.baseline_set_ops(1000, 10, triangles=True)
+        assert tri == plain * TimeBudget.TRIANGLE_COST_FACTOR
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [(5e-4, "500us"), (0.0123, "12.3ms"), (1.5, "1.50s"), (250.0, "250s")],
+    )
+    def test_format_seconds(self, seconds, expected):
+        assert format_seconds(seconds) == expected
+
+    def test_format_seconds_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1)
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(3.0) == "3"
+        assert format_value(float("nan")) == "-"
+        assert format_value(0.123456789) == "0.1235"
+        assert format_value("text") == "text"
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable("Title", ["a", "bb"])
+        table.add_row(1, 2.5)
+        table.add_row("xxx", "y")
+        text = table.render()
+        assert "Title" in text
+        lines = text.splitlines()
+        assert lines[2].startswith("a")
+        assert "xxx" in text
+
+    def test_row_arity_checked(self):
+        table = TextTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_notes_rendered(self):
+        table = TextTable("t", ["a"])
+        table.add_row(1)
+        table.add_note("hello")
+        assert "note: hello" in table.render()
+
+
+class TestSeries:
+    def test_length_checked(self):
+        with pytest.raises(ValueError):
+            Series("s", (1.0,), ())
+
+    def test_summary_and_render(self):
+        s = Series.from_arrays("curve", [0, 1, 2], [1.0, 3.0, 2.0])
+        assert "max 3" in s.summary()
+        text = render_series([s])
+        assert "curve" in text
+
+    def test_summary_empty(self):
+        s = Series("s", (), ())
+        assert "empty" in s.summary()
+
+    def test_windowed_average(self):
+        out = windowed_average([1, 2, 3, 4, 5], 2)
+        assert out.tolist() == [1.5, 3.5, 5.0]
+
+    def test_windowed_average_with_nan(self):
+        out = windowed_average([1.0, math.nan, 3.0, 5.0], 2)
+        assert out.tolist() == [1.0, 4.0]
+
+    def test_windowed_average_validates(self):
+        with pytest.raises(ValueError):
+            windowed_average([1.0], 0)
+
+    def test_csv_round_trip(self, tmp_path):
+        s = Series.from_arrays("a,b", [0, 1], [0.5, 0.25])
+        path = tmp_path / "series.csv"
+        save_series_csv([s], path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "series,x,y"
+        assert len(lines) == 3

@@ -1,0 +1,81 @@
+"""Tests for the dependency-free SVG chart writer."""
+
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.bench.figures import Series
+from repro.bench.svg import render_series_svg, save_series_svg
+
+
+def series(name="s", xs=(0, 1, 2, 3), ys=(1.0, 3.0, 2.0, 5.0)):
+    return Series.from_arrays(name, xs, ys)
+
+
+class TestRendering:
+    def test_valid_xml(self):
+        text = render_series_svg([series()], title="t")
+        root = ET.fromstring(text)
+        assert root.tag.endswith("svg")
+
+    def test_polyline_per_series(self):
+        text = render_series_svg([series("a"), series("b", ys=(5, 1, 4, 2))])
+        assert text.count("<polyline") == 2
+
+    def test_legend_names(self):
+        text = render_series_svg([series("curve-name")])
+        assert "curve-name" in text
+
+    def test_title(self):
+        assert "My Figure" in render_series_svg([series()], title="My Figure")
+
+    def test_nan_breaks_line(self):
+        s = Series.from_arrays("gap", range(5), [1.0, 2.0, math.nan, 3.0, 4.0])
+        text = render_series_svg([s])
+        # Two line segments around the gap.
+        assert text.count("<polyline") == 2
+
+    def test_single_point_becomes_circle(self):
+        s = Series.from_arrays("dot", [0, 1, 2], [math.nan, 7.0, math.nan])
+        text = render_series_svg([s])
+        assert "<circle" in text
+
+    def test_empty_series(self):
+        text = render_series_svg([])
+        assert "empty figure" in text
+        ET.fromstring(text)
+
+    def test_all_nan(self):
+        s = Series.from_arrays("n", [0, 1], [math.nan, math.nan])
+        text = render_series_svg([s])
+        ET.fromstring(text)
+
+    def test_constant_series(self):
+        s = Series.from_arrays("flat", [0, 1, 2], [4.0, 4.0, 4.0])
+        text = render_series_svg([s])
+        assert "<polyline" in text
+        ET.fromstring(text)
+
+    def test_axes_and_ticks_present(self):
+        text = render_series_svg([series()])
+        assert "<path" in text  # the axis spine
+        assert "text-anchor" in text
+
+
+class TestSaving:
+    def test_save_round_trip(self, tmp_path):
+        path = tmp_path / "figure.svg"
+        save_series_svg([series()], path, title="saved")
+        content = path.read_text()
+        assert content.startswith("<svg")
+        ET.fromstring(content)
+
+    def test_real_figure_renders(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.15")
+        from repro.bench import workloads
+        fig = workloads.fig5_set_scores(scale=0.15, datasets=("G",),
+                                        metrics=("average_degree", "conductance"))
+        path = tmp_path / "fig5.svg"
+        save_series_svg(fig, path, title="Figure 5 (G)")
+        ET.fromstring(path.read_text())

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.graph import save_edge_list
+
+
+@pytest.fixture()
+def graph_file(figure2, tmp_path):
+    path = tmp_path / "fig2.txt"
+    save_edge_list(figure2, path)
+    return str(path)
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "bestk" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices_cover_registry(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args(["experiment", name])
+            assert args.name == name
+
+
+class TestCommands:
+    def test_decompose(self, graph_file, capsys):
+        assert main(["decompose", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "kmax (degeneracy) = 3" in out
+        assert "n = 12" in out
+
+    def test_set(self, graph_file, capsys):
+        assert main(["set", graph_file, "-m", "average_degree"]) == 0
+        assert "best k = 2" in capsys.readouterr().out
+
+    def test_core_all_metrics(self, graph_file, capsys):
+        assert main(["core", graph_file, "--all-metrics"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("best k") == 6
+
+    def test_truss(self, graph_file, capsys):
+        assert main(["truss", graph_file, "-m", "cc"]) == 0
+        assert "best k = 4" in capsys.readouterr().out
+
+    def test_densest(self, graph_file, capsys):
+        assert main(["densest", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "Opt-D" in out and "CoreApp" in out
+
+    def test_validate(self, graph_file, capsys):
+        assert main(["validate", graph_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "FriendSter" in out and "DBLP" in out
+
+    def test_dataset_spec_loading(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.2")
+        assert main(["decompose", "dataset:G"]) == 0
+        assert "kmax" in capsys.readouterr().out
+
+    def test_unknown_metric_is_error(self, graph_file, capsys):
+        assert main(["set", graph_file, "-m", "bogus"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_is_error(self, capsys):
+        assert main(["decompose", "/nonexistent/path.txt"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestVisualisationCommands:
+    def test_forest(self, graph_file, capsys):
+        assert main(["forest", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "2-core" in out and "3-core" in out
+
+    def test_forest_with_scores(self, graph_file, capsys):
+        assert main(["forest", graph_file, "-m", "ad"]) == 0
+        assert "score=" in capsys.readouterr().out
+
+    def test_profile(self, graph_file, capsys):
+        assert main(["profile", graph_file, "-m", "cc"]) == 0
+        out = capsys.readouterr().out
+        assert "shell sizes" in out
+        assert "best k = 3" in out
+
+    def test_experiment_registry_includes_extensions(self):
+        assert "extension-truss" in EXPERIMENTS
+        assert "extension-weighted" in EXPERIMENTS
+        assert len(EXPERIMENTS) == 18
+
+
+class TestReportCommand:
+    def test_report_subset(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.15")
+        out = tmp_path / "rep"
+        assert main(["report", "--out", str(out), "--only", "table3"]) == 0
+        assert (out / "REPORT.md").exists()
+        assert "report written" in capsys.readouterr().out

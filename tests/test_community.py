@@ -1,0 +1,100 @@
+"""Tests for the community detection comparators."""
+
+import numpy as np
+import pytest
+
+from repro.community import (
+    compress_labels,
+    label_propagation,
+    louvain,
+    partition_modularity,
+)
+from repro.generators import planted_partition
+from repro.graph import Graph
+
+
+def agreement(labels: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of same-community vertex pairs on which the two agree."""
+    same_a = labels[:, None] == labels[None, :]
+    same_b = truth[:, None] == truth[None, :]
+    n = len(labels)
+    mask = ~np.eye(n, dtype=bool)
+    return float((same_a == same_b)[mask].mean())
+
+
+class TestCompressLabels:
+    def test_renumbers_first_seen(self):
+        assert compress_labels(np.array([5, 3, 5, 9])).tolist() == [0, 1, 0, 2]
+
+    def test_empty(self):
+        assert compress_labels(np.array([], dtype=np.int64)).tolist() == []
+
+
+class TestPartitionModularity:
+    def test_two_triangles_perfect_split(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        split = np.array([0, 0, 0, 1, 1, 1])
+        together = np.zeros(6, dtype=np.int64)
+        assert partition_modularity(g, split) == pytest.approx(0.5)
+        assert partition_modularity(g, together) == pytest.approx(0.0)
+
+    def test_singletons_negative(self, clique6):
+        labels = np.arange(6)
+        assert partition_modularity(clique6, labels) < 0
+
+    def test_empty_graph(self, empty_graph):
+        assert partition_modularity(empty_graph, np.array([], dtype=np.int64)) == 0.0
+
+
+class TestLouvain:
+    def test_two_triangles(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        labels = louvain(g)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_figure2_finds_cliques(self, figure2):
+        labels = louvain(figure2)
+        # Each K4 ends up in a single community.
+        assert len({int(labels[v]) for v in (0, 1, 2, 3)}) == 1
+        assert len({int(labels[v]) for v in (8, 9, 10, 11)}) == 1
+
+    def test_recovers_planted_partition(self):
+        g, truth = planted_partition(4, 20, 0.5, 0.02, seed=3)
+        labels = louvain(g, seed=1)
+        assert agreement(labels, truth) > 0.9
+
+    def test_beats_trivial_modularity(self):
+        g, _ = planted_partition(3, 15, 0.4, 0.05, seed=4)
+        labels = louvain(g)
+        assert partition_modularity(g, labels) > 0.2
+
+    def test_deterministic(self):
+        g, _ = planted_partition(3, 12, 0.5, 0.05, seed=5)
+        assert louvain(g, seed=9).tolist() == louvain(g, seed=9).tolist()
+
+    def test_empty_graph(self, empty_graph):
+        assert len(louvain(empty_graph)) == 0
+
+
+class TestLabelPropagation:
+    def test_two_triangles(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        labels = label_propagation(g, seed=2)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+
+    def test_recovers_strong_planted_partition(self):
+        g, truth = planted_partition(3, 25, 0.6, 0.01, seed=6)
+        labels = label_propagation(g, seed=1)
+        assert agreement(labels, truth) > 0.85
+
+    def test_isolated_vertices_keep_own_labels(self, isolated_vertices):
+        labels = label_propagation(isolated_vertices)
+        assert len(set(labels.tolist())) == 5
+
+    def test_deterministic(self, figure2):
+        a = label_propagation(figure2, seed=3)
+        b = label_propagation(figure2, seed=3)
+        assert a.tolist() == b.tolist()

@@ -1,0 +1,103 @@
+"""Statistical shape checks on the dataset stand-ins.
+
+The stand-ins only earn their paper names if they mirror the originals'
+qualitative structure; these tests pin the traits the experiments depend
+on (all at a reduced scale so the suite stays fast).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import core_decomposition
+from repro.generators import load_dataset
+from repro.graph.stats import degree_assortativity, graph_summary, powerlaw_exponent_mle
+
+SCALE = 0.5
+
+
+@pytest.fixture(scope="module")
+def suite():
+    keys = ("AP", "G", "D", "Y", "AS", "LJ", "H", "O", "HJ", "FS")
+    out = {}
+    for key in keys:
+        graph = load_dataset(key, scale=SCALE)
+        out[key] = (graph, core_decomposition(graph))
+    return out
+
+
+class TestHeavyTails:
+    @pytest.mark.parametrize("key", ("G", "Y", "LJ", "O", "FS"))
+    def test_social_standins_are_heavy_tailed(self, suite, key):
+        graph, _ = suite[key]
+        summary = graph_summary(graph)
+        # Max degree far above the mean is the heavy-tail smoke signal.
+        assert summary.max_degree > 5 * summary.avg_degree
+
+    def test_brain_standin_is_near_regular(self, suite):
+        graph, _ = suite["HJ"]
+        summary = graph_summary(graph)
+        assert summary.max_degree < 2 * summary.avg_degree
+
+    @pytest.mark.parametrize("key", ("G", "FS"))
+    def test_powerlaw_exponent_in_range(self, suite, key):
+        graph, _ = suite[key]
+        alpha = powerlaw_exponent_mle(graph, d_min=5)
+        assert 1.7 < alpha < 4.0
+
+
+class TestCorenessStructure:
+    def test_collaboration_kmax_dominates_avg_degree_ratio(self, suite):
+        """Collaboration graphs (cliques) have kmax comparable to davg;
+        power-law graphs have kmax well below their max degree."""
+        hollywood, decomp = suite["H"]
+        davg = 2 * hollywood.num_edges / hollywood.num_vertices
+        assert decomp.kmax > davg / 2
+
+    def test_densest_standin_is_hollywood(self, suite):
+        davg = {
+            key: 2 * graph.num_edges / graph.num_vertices
+            for key, (graph, _) in suite.items()
+        }
+        assert max(davg, key=davg.get) == "H"
+
+    def test_sparsest_standin_is_youtube(self, suite):
+        davg = {
+            key: 2 * graph.num_edges / graph.num_vertices
+            for key, (graph, _) in suite.items()
+        }
+        assert min(davg, key=davg.get) == "Y"
+
+    def test_every_standin_has_nontrivial_hierarchy(self, suite):
+        for key, (graph, decomp) in suite.items():
+            shells = sum(
+                1 for k in range(decomp.kmax + 1) if decomp.shell_size(k) > 0
+            )
+            # HJ is a near-regular lattice by design (its hierarchy is
+            # intentionally flat, mirroring the brain network's regularity).
+            expected_shells = 2 if key == "HJ" else 3
+            assert shells >= expected_shells, key
+            assert decomp.kmax >= 4, key
+
+    def test_dblp_deepest_core_is_the_planted_lab(self, suite):
+        graph, decomp = suite["D"]
+        assert decomp.kmax == 17
+        assert decomp.kcore_set_size(17) == 18
+
+
+class TestClusteringPattern:
+    def test_collaboration_clusters_far_more_than_powerlaw(self, suite):
+        """Event-clique collaboration graphs are triangle-rich; Chung-Lu
+        power laws are nearly triangle-free at the same density — the
+        contrast that makes the cc metric behave as in the paper."""
+        from repro.core import count_triangles, count_triplets
+
+        def transitivity(graph):
+            trip = count_triplets(graph)
+            return 3 * count_triangles(graph) / trip if trip else 0.0
+
+        assert transitivity(suite["AP"][0]) > 5 * transitivity(suite["FS"][0])
+
+    def test_assortativity_defined_everywhere(self, suite):
+        for key, (graph, _) in suite.items():
+            r = degree_assortativity(graph)
+            assert -1.0 <= r <= 1.0, key

@@ -1,0 +1,104 @@
+"""Unit tests for core decomposition against the definitional oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core import core_decomposition
+from repro.core.naive import coreness_naive, kcore_set_vertices_naive
+from repro.graph import Graph
+from conftest import random_graph, zoo_params
+
+
+class TestCoreness:
+    def test_figure2_coreness(self, figure2):
+        decomp = core_decomposition(figure2)
+        assert decomp.coreness.tolist() == [3, 3, 3, 3, 2, 2, 2, 2, 3, 3, 3, 3]
+        assert decomp.kmax == 3
+
+    @zoo_params()
+    def test_matches_naive_oracle(self, graph):
+        fast = core_decomposition(graph).coreness
+        assert fast.tolist() == coreness_naive(graph).tolist()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_naive_on_random(self, seed):
+        g = random_graph(30 + seed * 7, 60 + seed * 20, seed)
+        fast = core_decomposition(g).coreness
+        assert fast.tolist() == coreness_naive(g).tolist()
+
+    def test_clique_coreness(self, clique6):
+        decomp = core_decomposition(clique6)
+        assert (decomp.coreness == 5).all()
+
+    def test_star_coreness(self, star):
+        decomp = core_decomposition(star)
+        assert decomp.coreness[0] == 1
+        assert (decomp.coreness[1:] == 1).all()
+
+    def test_empty_graph(self, empty_graph):
+        decomp = core_decomposition(empty_graph)
+        assert decomp.kmax == 0
+        assert len(decomp.coreness) == 0
+
+    def test_isolated_vertices(self, isolated_vertices):
+        decomp = core_decomposition(isolated_vertices)
+        assert (decomp.coreness == 0).all()
+        assert decomp.kmax == 0
+
+
+class TestDerivedStructures:
+    def test_shells_partition_vertices(self, figure2):
+        decomp = core_decomposition(figure2)
+        seen = np.concatenate([decomp.shell(k) for k in range(decomp.kmax + 1)])
+        assert sorted(seen.tolist()) == list(range(12))
+
+    def test_shell_sizes(self, figure2):
+        decomp = core_decomposition(figure2)
+        assert decomp.shell_size(0) == 0
+        assert decomp.shell_size(1) == 0
+        assert decomp.shell_size(2) == 4
+        assert decomp.shell_size(3) == 8
+
+    def test_kcore_set_vertices_match_naive(self, figure2):
+        decomp = core_decomposition(figure2)
+        for k in range(decomp.kmax + 2):
+            fast = sorted(decomp.kcore_set_vertices(k).tolist())
+            assert fast == kcore_set_vertices_naive(figure2, k).tolist()
+
+    def test_kcore_set_containment_chain(self):
+        g = random_graph(60, 200, seed=4)
+        decomp = core_decomposition(g)
+        previous = set(range(g.num_vertices))
+        for k in range(decomp.kmax + 1):
+            current = set(decomp.kcore_set_vertices(k).tolist())
+            assert current <= previous
+            previous = current
+
+    def test_kcore_set_size_o1(self, figure2):
+        decomp = core_decomposition(figure2)
+        for k in range(decomp.kmax + 2):
+            assert decomp.kcore_set_size(k) == len(decomp.kcore_set_vertices(k))
+
+    def test_order_sorted_by_coreness_then_id(self, figure2):
+        decomp = core_decomposition(figure2)
+        keys = [(int(decomp.coreness[v]), int(v)) for v in decomp.order]
+        assert keys == sorted(keys)
+
+    def test_peel_order_is_degeneracy_order(self):
+        g = random_graph(50, 140, seed=11)
+        decomp = core_decomposition(g)
+        position = np.empty(g.num_vertices, dtype=np.int64)
+        position[decomp.peel_order] = np.arange(g.num_vertices)
+        # In a degeneracy ordering every vertex has at most kmax neighbours
+        # later in the order, and at most its own coreness of them.
+        for v in range(g.num_vertices):
+            later = sum(1 for u in g.neighbors(v) if position[u] > position[v])
+            assert later <= decomp.coreness[v]
+
+    def test_arrays_read_only(self, figure2):
+        decomp = core_decomposition(figure2)
+        with pytest.raises(ValueError):
+            decomp.coreness[0] = 9
+
+    def test_repr(self, figure2):
+        assert "kmax=3" in repr(core_decomposition(figure2))

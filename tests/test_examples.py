@@ -1,0 +1,46 @@
+"""End-to-end smoke tests: every example script must run cleanly."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script, monkeypatch):
+    env = {"REPRO_BENCH_SCALE": "0.25", "PATH": "/usr/bin:/bin"}
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env={**env, "PYTHONPATH": str(script.parent.parent / "src")},
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_accepts_edge_list(tmp_path, figure2):
+    from repro.graph import save_edge_list
+
+    path = tmp_path / "fig2.txt"
+    save_edge_list(figure2, path)
+    script = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    proc = subprocess.run(
+        [sys.executable, str(script), str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={"PYTHONPATH": str(script.parent.parent / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "kmax" in proc.stdout

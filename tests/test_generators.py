@@ -1,0 +1,181 @@
+"""Tests for the synthetic generators and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import core_decomposition
+from repro.generators import (
+    DATASETS,
+    barabasi_albert,
+    chung_lu,
+    coauthorship_graph,
+    collaboration_cliques,
+    dataset_names,
+    get_spec,
+    gnm_random_graph,
+    load_dataset,
+    planted_partition,
+    powerlaw_chung_lu,
+    powerlaw_degree_sequence,
+    rmat_graph,
+    watts_strogatz,
+)
+from repro.graph import validate_graph
+
+
+SMALL = 0.2  # registry scale used by tests
+
+
+class TestRandomGraphs:
+    def test_gnm_exact_edge_count(self):
+        g = gnm_random_graph(50, 100, seed=1)
+        assert g.num_vertices == 50
+        assert g.num_edges == 100
+        validate_graph(g)
+
+    def test_gnm_clips_to_complete_graph(self):
+        g = gnm_random_graph(5, 100, seed=1)
+        assert g.num_edges == 10
+
+    def test_gnm_deterministic(self):
+        assert gnm_random_graph(30, 60, seed=5) == gnm_random_graph(30, 60, seed=5)
+        assert gnm_random_graph(30, 60, seed=5) != gnm_random_graph(30, 60, seed=6)
+
+    def test_barabasi_albert_structure(self):
+        g = barabasi_albert(200, 3, seed=2)
+        assert g.num_vertices == 200
+        # Each of the n - (attach+1) arrivals adds `attach` edges, plus the seed clique.
+        assert g.num_edges == 6 + (200 - 4) * 3
+        validate_graph(g)
+        # Preferential attachment yields a heavy tail.
+        assert g.degrees().max() > 3 * np.median(g.degrees())
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 5)
+
+    def test_powerlaw_degree_sequence_range(self):
+        seq = powerlaw_degree_sequence(1000, 2.5, min_degree=2, seed=3)
+        assert seq.min() >= 2
+        assert len(seq) == 1000
+
+    def test_chung_lu_respects_weights(self):
+        weights = np.full(400, 10.0)
+        g = chung_lu(weights, seed=4)
+        validate_graph(g)
+        assert abs(g.degrees().mean() - 10.0) < 2.0
+
+    def test_chung_lu_empty_weights(self):
+        g = chung_lu(np.zeros(5), seed=1)
+        assert g.num_edges == 0
+
+    def test_powerlaw_chung_lu_avg_degree(self):
+        g = powerlaw_chung_lu(2000, 8.0, seed=5)
+        assert abs(g.degrees().mean() - 8.0) < 2.0
+        validate_graph(g)
+
+
+class TestStructuredGenerators:
+    def test_rmat_shape(self):
+        g = rmat_graph(10, 4000, seed=6)
+        assert g.num_vertices == 1024
+        assert 0 < g.num_edges <= 4000
+        validate_graph(g)
+
+    def test_rmat_validates_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_graph(5, 100, a=0.9, b=0.2, c=0.2)
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz(100, 4, 0.1, seed=7)
+        assert g.num_vertices == 100
+        validate_graph(g)
+        # Low rewiring keeps the lattice degree profile tight.
+        assert abs(g.degrees().mean() - 8.0) < 1.0
+
+    def test_watts_strogatz_validation(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 5, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz(100, 4, 1.5)
+
+    def test_planted_partition_blocks_denser_inside(self):
+        g, labels = planted_partition(4, 25, 0.4, 0.02, seed=8)
+        validate_graph(g)
+        inside = outside = 0
+        for u, v in g.edges():
+            if labels[u] == labels[v]:
+                inside += 1
+            else:
+                outside += 1
+        assert inside > outside
+
+    def test_planted_partition_validation(self):
+        with pytest.raises(ValueError):
+            planted_partition(2, 10, 0.1, 0.5)
+
+    def test_collaboration_cliques(self):
+        g = collaboration_cliques(150, 60, (3, 8), seed=9)
+        validate_graph(g)
+        decomp = core_decomposition(g)
+        assert decomp.kmax >= 2
+
+
+class TestCoauthorship:
+    def test_planted_communities(self):
+        net = coauthorship_graph(
+            num_background_authors=500, num_papers=600, num_topics=10, seed=10
+        )
+        validate_graph(net.graph)
+        decomp = core_decomposition(net.graph)
+        assert (decomp.coreness[net.lab] == 17).all()
+        assert (decomp.coreness[net.isolated_group] == 9).all()
+        # The isolated group really is isolated.
+        members = set(net.isolated_group.tolist())
+        for v in members:
+            assert all(int(u) in members for u in net.graph.neighbors(v))
+
+    def test_labels_align(self):
+        net = coauthorship_graph(
+            num_background_authors=100, num_papers=100, num_topics=4, seed=11
+        )
+        assert len(net.labels) == net.graph.num_vertices
+        assert all(net.labels[v].startswith("lab.member") for v in net.lab)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            coauthorship_graph(authors_per_paper=(1, 4))
+
+
+class TestRegistry:
+    def test_all_ten_datasets_present(self):
+        assert len(DATASETS) == 10
+        assert dataset_names() == ("AP", "G", "D", "Y", "AS", "LJ", "H", "O", "HJ", "FS")
+
+    def test_lookup_by_name_and_abbreviation(self):
+        assert get_spec("DBLP") is get_spec("D")
+        assert get_spec("dblp") is get_spec("D")
+        with pytest.raises(KeyError):
+            get_spec("unknown")
+
+    def test_paper_stats_recorded(self):
+        spec = get_spec("FS")
+        assert spec.paper.num_edges == 1_806_067_135
+
+    @pytest.mark.parametrize("key", dataset_names())
+    def test_loadable_and_clean(self, key):
+        g = load_dataset(key, scale=SMALL)
+        validate_graph(g)
+        assert g.num_edges > 0
+
+    def test_load_is_cached(self):
+        a = load_dataset("G", scale=SMALL)
+        b = load_dataset("G", scale=SMALL)
+        assert a is b
+
+    def test_scale_grows_instances(self):
+        small = load_dataset("Y", scale=SMALL)
+        large = load_dataset("Y", scale=0.6)
+        assert large.num_vertices > small.num_vertices

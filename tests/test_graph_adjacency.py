@@ -1,0 +1,68 @@
+"""Unit tests for the mutable adjacency reference graph."""
+
+import pytest
+
+from repro.graph import AdjacencyGraph, Graph
+
+
+class TestBasics:
+    def test_from_graph_round_trip(self, figure2):
+        adj = AdjacencyGraph.from_graph(figure2)
+        assert adj.num_vertices == figure2.num_vertices
+        assert adj.num_edges == figure2.num_edges
+        assert adj.to_csr() == figure2
+
+    def test_from_edges_skips_loops(self):
+        adj = AdjacencyGraph.from_edges([(0, 1), (1, 1), (1, 2)])
+        assert adj.num_edges == 2
+
+    def test_add_edge_rejects_loop(self):
+        adj = AdjacencyGraph(2)
+        with pytest.raises(ValueError):
+            adj.add_edge(1, 1)
+
+    def test_degree_and_neighbors(self, figure2):
+        adj = AdjacencyGraph.from_graph(figure2)
+        for v in range(figure2.num_vertices):
+            assert adj.degree(v) == figure2.degree(v)
+            assert adj.neighbors(v) == set(map(int, figure2.neighbors(v)))
+
+
+class TestMutation:
+    def test_remove_vertex_updates_neighbors(self):
+        adj = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        adj.remove_vertex(1)
+        assert not adj.has_vertex(1)
+        assert adj.neighbors(0) == {2}
+        assert adj.num_edges == 1
+
+    def test_remove_edge(self):
+        adj = AdjacencyGraph.from_edges([(0, 1), (1, 2)])
+        adj.remove_edge(0, 1)
+        assert not adj.has_edge(0, 1)
+        assert adj.has_edge(1, 2)
+
+    def test_remove_missing_edge_raises(self):
+        adj = AdjacencyGraph.from_edges([(0, 1)])
+        with pytest.raises(KeyError):
+            adj.remove_edge(0, 5)
+
+    def test_copy_is_independent(self):
+        adj = AdjacencyGraph.from_edges([(0, 1), (1, 2)])
+        dup = adj.copy()
+        dup.remove_vertex(1)
+        assert adj.has_vertex(1)
+        assert adj.num_edges == 2
+        assert dup.num_edges == 0
+
+    def test_add_vertex_idempotent(self):
+        adj = AdjacencyGraph(0)
+        adj.add_vertex(3)
+        adj.add_vertex(3)
+        assert adj.num_vertices == 1
+
+    def test_contains_and_len(self):
+        adj = AdjacencyGraph(3)
+        assert 2 in adj
+        assert 5 not in adj
+        assert len(adj) == 3

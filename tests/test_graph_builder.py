@@ -1,0 +1,87 @@
+"""Unit tests for GraphBuilder (input cleaning and label interning)."""
+
+import pytest
+
+from repro.graph import GraphBuilder, validate_graph
+
+
+class TestCleaning:
+    def test_deduplicates_both_orientations(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_edge(1, 0)
+        b.add_edge(0, 1)
+        g = b.build()
+        assert g.num_edges == 1
+        assert b.num_duplicates_dropped == 2
+
+    def test_drops_self_loops(self):
+        b = GraphBuilder()
+        b.add_edge(0, 0)
+        b.add_edge(0, 1)
+        g = b.build()
+        assert g.num_edges == 1
+        assert b.num_self_loops_dropped == 1
+
+    def test_result_validates(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (1, 0), (2, 2), (1, 2), (0, 2)])
+        validate_graph(b.build())
+
+    def test_empty_build(self):
+        b = GraphBuilder()
+        g = b.build()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_vertices_without_edges(self):
+        b = GraphBuilder()
+        b.add_vertex("lonely")
+        g = b.build()
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+
+class TestLabels:
+    def test_string_labels_interned_in_order(self):
+        b = GraphBuilder()
+        b.add_edge("alice", "bob")
+        b.add_edge("bob", "carol")
+        assert b.labels == ["alice", "bob", "carol"]
+        assert b.label_of(0) == "alice"
+        assert b.vertex_id("carol") == 2
+
+    def test_mixed_hashable_labels(self):
+        b = GraphBuilder()
+        b.add_edge(("tuple", 1), "string")
+        g = b.build()
+        assert g.num_vertices == 2
+
+    def test_num_vertices_tracks_interning(self):
+        b = GraphBuilder()
+        assert b.num_vertices == 0
+        b.add_vertex("x")
+        b.add_edge("y", "z")
+        assert b.num_vertices == 3
+
+
+class TestRebuild:
+    def test_incremental_builds(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        g1 = b.build()
+        b.add_edge(1, 2)
+        g2 = b.build()
+        assert g1.num_edges == 1
+        assert g2.num_edges == 2
+        assert g2.num_vertices == 3
+
+    def test_counters_reset_per_build(self):
+        b = GraphBuilder()
+        b.add_edge(0, 0)
+        b.build()
+        assert b.num_self_loops_dropped == 1
+        b2 = GraphBuilder()
+        b2.add_edge(0, 1)
+        b2.build()
+        assert b2.num_self_loops_dropped == 0

@@ -1,0 +1,129 @@
+"""Unit tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import Graph, validate_graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_from_edges_isolated_tail_vertices(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_from_edges_rejects_small_num_vertices(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges([(0, 5)], num_vertices=3)
+
+    def test_from_edges_rejects_self_loop(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges([(1, 1)])
+
+    def test_from_edges_rejects_duplicates(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges([(0, 1), (1, 0)])
+
+    def test_from_edges_rejects_negative(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges([(0, -1)])
+
+    def test_from_edges_rejects_bad_shape(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges([(0, 1, 2)])  # type: ignore[list-item]
+
+    def test_empty(self):
+        g = Graph.empty(4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_empty_zero(self):
+        g = Graph.empty(0)
+        assert g.num_vertices == 0
+
+    def test_from_edges_empty_iterable(self):
+        g = Graph.from_edges([], num_vertices=3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_constructed_graph_validates(self, figure2):
+        validate_graph(figure2)
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph(np.array([0, 2, 1]), np.array([1, 0]))
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph(np.array([0, 1, 2]), np.array([5, 0]))
+
+
+class TestAccessors:
+    def test_degree_and_degrees(self, figure2):
+        degrees = figure2.degrees()
+        assert degrees.sum() == 2 * figure2.num_edges
+        for v in figure2:
+            assert figure2.degree(v) == degrees[v]
+
+    def test_neighbors_sorted(self, figure2):
+        for v in figure2:
+            nbrs = figure2.neighbors(v)
+            assert np.all(np.diff(nbrs) > 0)
+
+    def test_has_edge(self, figure2):
+        assert figure2.has_edge(0, 1)
+        assert figure2.has_edge(1, 0)
+        assert not figure2.has_edge(0, 11)
+        assert not figure2.has_edge(0, 0)
+
+    def test_has_edge_out_of_range(self, figure2):
+        assert not figure2.has_edge(0, 99)
+        assert not figure2.has_edge(-1, 0)
+
+    def test_edges_each_once_u_lt_v(self, figure2):
+        edges = list(figure2.edges())
+        assert len(edges) == figure2.num_edges
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == len(edges)
+
+    def test_edge_array_matches_edges(self, figure2):
+        arr = figure2.edge_array()
+        assert sorted(map(tuple, arr.tolist())) == sorted(figure2.edges())
+
+    def test_contains_and_iter(self, figure2):
+        assert 0 in figure2
+        assert 11 in figure2
+        assert 12 not in figure2
+        assert "a" not in figure2
+        assert list(figure2) == list(range(12))
+
+    def test_len(self, figure2):
+        assert len(figure2) == 12
+
+    def test_repr(self, figure2):
+        assert "n=12" in repr(figure2)
+        assert "m=19" in repr(figure2)
+
+
+class TestImmutability:
+    def test_arrays_read_only(self, figure2):
+        with pytest.raises(ValueError):
+            figure2.indptr[0] = 7
+        with pytest.raises(ValueError):
+            figure2.indices[0] = 7
+
+    def test_equality_and_hash(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(1, 2), (0, 1)])
+        c = Graph.from_edges([(0, 1), (0, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a graph"

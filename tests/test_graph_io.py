@@ -1,0 +1,84 @@
+"""Unit tests for edge-list I/O."""
+
+import gzip
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import Graph, load_edge_list, save_edge_list
+from repro.graph.io import iter_edge_lines
+
+
+class TestRoundTrip:
+    def test_plain_round_trip(self, figure2, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(figure2, path)
+        loaded = load_edge_list(path)
+        assert loaded.graph == figure2
+
+    def test_gzip_round_trip(self, figure2, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        save_edge_list(figure2, path, header="compressed test")
+        with gzip.open(path, "rt") as handle:
+            assert handle.readline().startswith("# compressed test")
+        loaded = load_edge_list(path)
+        assert loaded.graph == figure2
+
+    def test_header_written_as_comments(self, figure2, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(figure2, path, header="line one\nline two")
+        text = path.read_text()
+        assert text.startswith("# line one\n# line two\n")
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# SNAP header\n\n0 1\n# mid comment\n1 2\n")
+        loaded = load_edge_list(path)
+        assert loaded.graph.num_edges == 2
+
+    def test_extra_fields_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5 1234\n1 2 0.7 999\n")
+        loaded = load_edge_list(path)
+        assert loaded.graph.num_edges == 2
+
+    def test_short_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\nonlyone\n")
+        with pytest.raises(GraphFormatError, match="line 2"):
+            load_edge_list(path)
+
+    def test_dirty_input_cleaned_and_counted(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n2 2\n1 2\n")
+        loaded = load_edge_list(path)
+        assert loaded.graph.num_edges == 2
+        assert loaded.num_duplicates_dropped == 1
+        assert loaded.num_self_loops_dropped == 1
+
+    def test_sparse_integer_ids_relabelled(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1000000 2000000\n2000000 42\n")
+        loaded = load_edge_list(path)
+        assert loaded.graph.num_vertices == 3
+        assert loaded.labels == [1000000, 2000000, 42]
+
+    def test_string_labels(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("alice bob\nbob carol\n")
+        loaded = load_edge_list(path)
+        assert loaded.graph.num_vertices == 3
+        assert "alice" in loaded.labels
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("0,1\n1,2\n")
+        loaded = load_edge_list(path, delimiter=",")
+        assert loaded.graph.num_edges == 2
+
+    def test_iter_edge_lines_stream(self):
+        stream = io.StringIO("# c\n0 1\n")
+        assert list(iter_edge_lines(stream)) == [("0", "1")]

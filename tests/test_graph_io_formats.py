@@ -1,0 +1,90 @@
+"""Tests for the binary (.npz) and METIS graph formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    Graph,
+    load_metis,
+    load_npz,
+    save_metis,
+    save_npz,
+    validate_graph,
+)
+from conftest import random_graph, zoo_params
+
+
+class TestNpz:
+    @zoo_params()
+    def test_round_trip(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(graph, path)
+        assert load_npz(path) == graph
+
+    def test_validated_on_load(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, indptr=np.array([0, 2, 1]), indices=np.array([1, 0]))
+        with pytest.raises(GraphFormatError):
+            load_npz(path)
+
+    def test_wrong_keys_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez_compressed(path, something=np.arange(3))
+        with pytest.raises(GraphFormatError, match="snapshot"):
+            load_npz(path)
+
+    def test_random_round_trip(self, tmp_path):
+        g = random_graph(60, 180, seed=5)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        validate_graph(loaded)
+        assert loaded == g
+
+
+class TestMetis:
+    @zoo_params()
+    def test_round_trip(self, graph, tmp_path):
+        path = tmp_path / "g.metis"
+        save_metis(graph, path)
+        assert load_metis(path) == graph
+
+    def test_known_format(self, tmp_path):
+        path = tmp_path / "g.metis"
+        # Triangle plus pendant, METIS style (1-indexed, % comments).
+        path.write_text("% example\n4 4\n2 3\n1 3 4\n1 2\n2\n")
+        g = load_metis(path)
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+        assert g.has_edge(0, 1) and g.has_edge(1, 3)
+
+    def test_header_edge_count_checked(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("3 5\n2\n1 3\n2\n")
+        with pytest.raises(GraphFormatError, match="m=5"):
+            load_metis(path)
+
+    def test_vertex_count_checked(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("3 1\n2\n1\n")
+        with pytest.raises(GraphFormatError, match="n=3"):
+            load_metis(path)
+
+    def test_out_of_range_neighbor(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1\n2\n9\n")
+        with pytest.raises(GraphFormatError, match="out of range"):
+            load_metis(path)
+
+    def test_weighted_format_rejected(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1 1\n2 5\n1 5\n")
+        with pytest.raises(GraphFormatError, match="weighted"):
+            load_metis(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.metis"
+        path.write_text("% nothing\n")
+        with pytest.raises(GraphFormatError, match="empty"):
+            load_metis(path)

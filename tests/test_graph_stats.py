@@ -1,0 +1,95 @@
+"""Tests for the descriptive graph statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.graph.stats import (
+    degree_assortativity,
+    degree_histogram,
+    graph_summary,
+    powerlaw_exponent_mle,
+)
+from repro.generators import powerlaw_chung_lu, watts_strogatz
+
+
+class TestDegreeHistogram:
+    def test_figure2(self, figure2):
+        hist = degree_histogram(figure2)
+        assert hist.sum() == 12
+        assert (hist * np.arange(len(hist))).sum() == 2 * figure2.num_edges
+
+    def test_star(self, star):
+        hist = degree_histogram(star)
+        assert hist[1] == 7
+        assert hist[7] == 1
+
+    def test_empty(self, empty_graph):
+        assert degree_histogram(empty_graph).tolist() == [0]
+
+
+class TestAssortativity:
+    def test_perfectly_assortative_regular(self, cycle6):
+        # All degrees equal: correlation undefined -> nan by convention.
+        assert math.isnan(degree_assortativity(cycle6))
+
+    def test_star_is_disassortative(self, star):
+        assert degree_assortativity(star) == pytest.approx(-1.0)
+
+    def test_no_edges(self, isolated_vertices):
+        assert math.isnan(degree_assortativity(isolated_vertices))
+
+    def test_range(self):
+        g = powerlaw_chung_lu(800, 6.0, seed=3)
+        r = degree_assortativity(g)
+        assert -1.0 <= r <= 1.0
+
+
+class TestPowerlawMle:
+    def test_detects_heavy_tail(self):
+        # Fit above the distribution body (standard practice): the tail
+        # exponent should land near the generating value of 2.5.
+        g = powerlaw_chung_lu(4000, 8.0, exponent=2.5, seed=1)
+        alpha = powerlaw_exponent_mle(g, d_min=5)
+        assert 1.9 < alpha < 3.3
+
+    def test_lattice_has_steep_exponent(self):
+        # Near-regular graphs have a concentrated degree distribution;
+        # the fitted exponent blows up relative to heavy-tailed graphs.
+        lattice = watts_strogatz(800, 5, 0.05, seed=2)
+        heavy = powerlaw_chung_lu(800, 10.0, exponent=2.3, seed=2)
+        assert powerlaw_exponent_mle(lattice, d_min=8) > powerlaw_exponent_mle(heavy, d_min=8)
+
+    def test_small_tail_is_nan(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert math.isnan(powerlaw_exponent_mle(g))
+
+    def test_d_min_validated(self, figure2):
+        with pytest.raises(ValueError):
+            powerlaw_exponent_mle(figure2, d_min=0)
+
+
+class TestSummary:
+    def test_fields(self, figure2):
+        summary = graph_summary(figure2)
+        assert summary.num_vertices == 12
+        assert summary.num_edges == 19
+        assert summary.avg_degree == pytest.approx(2 * 19 / 12)
+        assert summary.max_degree == 5
+        assert summary.num_isolated == 0
+
+    def test_isolated_counted(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=4)
+        assert graph_summary(g).num_isolated == 2
+
+    def test_render(self, figure2):
+        text = graph_summary(figure2).render()
+        assert "average degree" in text
+        assert "assortativity" in text
+
+    def test_empty(self, empty_graph):
+        summary = graph_summary(empty_graph)
+        assert summary.num_vertices == 0
+        assert summary.avg_degree == 0.0

@@ -1,0 +1,67 @@
+"""Unit tests for the exhaustive CSR integrity checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphIntegrityError
+from repro.graph import Graph, validate_graph
+from repro.graph.csr import Graph as CSRGraph
+from conftest import zoo_params
+
+
+def raw_graph(indptr, indices):
+    """Bypass constructor validation to plant corrupt structures."""
+    g = CSRGraph.__new__(CSRGraph)
+    g._indptr = np.asarray(indptr, dtype=np.int64)
+    g._indices = np.asarray(indices, dtype=np.int64)
+    return g
+
+
+@zoo_params()
+def test_zoo_graphs_validate(graph):
+    validate_graph(graph)
+
+
+def test_asymmetric_rejected():
+    # arc 0->1 present, 1->0 missing
+    g = raw_graph([0, 1, 1], [1])
+    with pytest.raises(GraphIntegrityError, match="odd adjacency|not symmetric"):
+        validate_graph(g)
+
+
+def test_self_loop_rejected():
+    g = raw_graph([0, 2, 2], [0, 0])
+    with pytest.raises(GraphIntegrityError, match="self loop"):
+        validate_graph(g)
+
+
+def test_unsorted_adjacency_rejected():
+    # vertex 0 has neighbours [2, 1] (unsorted); mirrors present.
+    g = raw_graph([0, 2, 3, 4], [2, 1, 0, 0])
+    with pytest.raises(GraphIntegrityError, match="unsorted|duplicates"):
+        validate_graph(g)
+
+
+def test_duplicate_neighbor_rejected():
+    g = raw_graph([0, 2, 4], [1, 1, 0, 0])
+    with pytest.raises(GraphIntegrityError):
+        validate_graph(g)
+
+
+def test_out_of_range_rejected():
+    g = raw_graph([0, 1, 2], [9, 0])
+    with pytest.raises(GraphIntegrityError, match="out of range"):
+        validate_graph(g)
+
+
+def test_bad_indptr_rejected():
+    g = raw_graph([0, 3, 2], [1, 0])
+    with pytest.raises(GraphIntegrityError):
+        validate_graph(g)
+
+
+def test_nonmirrored_pair_rejected():
+    # 0->1 and 2->1: symmetric multiset fails.
+    g = raw_graph([0, 1, 1, 2], [1, 1])
+    with pytest.raises(GraphIntegrityError):
+        validate_graph(g)

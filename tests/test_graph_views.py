@@ -1,0 +1,117 @@
+"""Unit tests for subgraph extraction and connectivity helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    component_of,
+    connected_components,
+    induced_subgraph,
+    is_connected,
+    subgraph_counts,
+    validate_graph,
+)
+from conftest import random_graph, zoo_params
+
+
+class TestInducedSubgraph:
+    def test_figure2_left_clique(self, figure2):
+        sub, ids = induced_subgraph(figure2, [0, 1, 2, 3])
+        assert sub.num_vertices == 4
+        assert sub.num_edges == 6
+        assert ids.tolist() == [0, 1, 2, 3]
+        validate_graph(sub)
+
+    def test_mapping_is_sorted_and_consistent(self, figure2):
+        sub, ids = induced_subgraph(figure2, [7, 2, 5])
+        assert ids.tolist() == [2, 5, 7]
+        # edge (2,5) exists in figure2 (v3 - v6)
+        assert sub.has_edge(0, 1)
+
+    def test_empty_selection(self, figure2):
+        sub, ids = induced_subgraph(figure2, [])
+        assert sub.num_vertices == 0
+        assert len(ids) == 0
+
+    def test_full_selection_identity(self, figure2):
+        sub, ids = induced_subgraph(figure2, range(figure2.num_vertices))
+        assert sub == figure2
+
+    @zoo_params()
+    def test_random_subsets_validate(self, graph):
+        rng = np.random.default_rng(3)
+        n = graph.num_vertices
+        if n == 0:
+            return
+        subset = np.flatnonzero(rng.random(n) < 0.5)
+        sub, ids = induced_subgraph(graph, subset)
+        validate_graph(sub)
+        assert sub.num_vertices == len(subset)
+
+
+class TestSubgraphCounts:
+    def test_counts_match_induced(self, figure2):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            subset = np.flatnonzero(rng.random(figure2.num_vertices) < 0.6)
+            n_s, m_s, b_s = subgraph_counts(figure2, subset)
+            sub, _ = induced_subgraph(figure2, subset)
+            assert n_s == sub.num_vertices
+            assert m_s == sub.num_edges
+            member = set(subset.tolist())
+            boundary = sum(
+                1 for u, v in figure2.edges() if (u in member) != (v in member)
+            )
+            assert b_s == boundary
+
+    def test_empty_subset(self, figure2):
+        assert subgraph_counts(figure2, []) == (0, 0, 0)
+
+    def test_whole_graph(self, figure2):
+        n_s, m_s, b_s = subgraph_counts(figure2, range(12))
+        assert (n_s, m_s, b_s) == (12, 19, 0)
+
+    def test_isolated_members(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=4)
+        assert subgraph_counts(g, [2, 3]) == (2, 0, 0)
+
+
+class TestConnectivity:
+    def test_components_of_disconnected(self, two_components):
+        labels, count = connected_components(two_components)
+        assert count == 3  # triangle, path, isolated vertex
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_components_within_subset(self, figure2):
+        # Remove the bridge vertices: the two K4s separate.
+        subset = [0, 1, 2, 3, 8, 9, 10, 11]
+        labels, count = connected_components(figure2, subset)
+        assert count == 2
+        assert labels[4] == -1  # outside the subset
+
+    def test_component_of(self, two_components):
+        comp = component_of(two_components, 0)
+        assert comp.tolist() == [0, 1, 2]
+
+    def test_component_of_outside_subset_raises(self, figure2):
+        with pytest.raises(ValueError):
+            component_of(figure2, 0, within=[5, 6])
+
+    def test_is_connected(self, figure2, two_components, empty_graph):
+        assert is_connected(figure2)
+        assert not is_connected(two_components)
+        assert not is_connected(empty_graph)
+        assert not is_connected(figure2, within=[])
+        assert is_connected(figure2, within=[0, 1, 2, 3])
+
+    def test_random_components_partition(self):
+        g = random_graph(40, 50, seed=9)
+        labels, count = connected_components(g)
+        assert labels.min() >= 0
+        assert labels.max() == count - 1
+        # Every edge connects same-component endpoints.
+        for u, v in g.edges():
+            assert labels[u] == labels[v]

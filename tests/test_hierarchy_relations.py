@@ -1,0 +1,109 @@
+"""Cross-hierarchy invariants: cores vs trusses vs ECCs.
+
+Textbook containment theorems relate the three decompositions this library
+implements; violating any of them would mean one of the decompositions is
+wrong, so they make strong integration checks:
+
+* every k-truss is a (k-1)-core — hence ``vertex_truss(v) <= coreness(v) + 1``;
+* edge connectivity never exceeds minimum degree — hence
+  ``ecc_level(v) <= coreness(v)``;
+* the maximum clique size is at most ``kmax + 1`` and at most ``tmax``
+  (a clique of size q is a q-truss).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import max_clique
+from repro.core import core_decomposition
+from repro.ecc import ecc_decomposition
+from repro.truss import truss_decomposition
+from conftest import random_graph, zoo_params
+
+
+class TestTrussVsCore:
+    @zoo_params()
+    def test_vertex_truss_bounded_by_coreness(self, graph):
+        if graph.num_edges == 0:
+            return
+        truss = truss_decomposition(graph).vertex_level
+        coreness = core_decomposition(graph).coreness
+        has_edge = graph.degrees() > 0
+        assert (truss[has_edge] <= coreness[has_edge] + 1).all()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ktruss_vertices_inside_km1_core(self, seed):
+        g = random_graph(30, 110, seed)
+        td = truss_decomposition(g)
+        decomp = core_decomposition(g)
+        for k in range(3, td.tmax + 1):
+            truss_vertices = set(td.ktruss_vertices(k).tolist())
+            core_vertices = set(decomp.kcore_set_vertices(k - 1).tolist())
+            assert truss_vertices <= core_vertices, k
+
+    @zoo_params()
+    def test_edge_truss_bounded_by_endpoint_coreness(self, graph):
+        if graph.num_edges == 0:
+            return
+        td = truss_decomposition(graph)
+        coreness = core_decomposition(graph).coreness
+        for (u, v), t in zip(td.edges.tolist(), td.truss.tolist()):
+            assert t <= min(coreness[u], coreness[v]) + 1
+
+
+class TestEccVsCore:
+    @zoo_params()
+    def test_ecc_level_bounded_by_coreness(self, graph):
+        ecc = ecc_decomposition(graph).level
+        coreness = core_decomposition(graph).coreness
+        assert (ecc <= coreness).all()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ecc_sets_inside_core_sets(self, seed):
+        g = random_graph(18, 50, seed)
+        ecc = ecc_decomposition(g)
+        decomp = core_decomposition(g)
+        for k in range(1, ecc.kmax + 1):
+            ecc_vertices = set(ecc.kecc_set_vertices(k).tolist())
+            core_vertices = set(decomp.kcore_set_vertices(k).tolist())
+            assert ecc_vertices <= core_vertices, k
+
+
+class TestCliqueVsHierarchies:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clique_bounded_by_degeneracy_and_truss(self, seed):
+        g = random_graph(20, 90, seed)
+        if g.num_edges == 0:
+            return
+        omega = len(max_clique(g))
+        decomp = core_decomposition(g)
+        td = truss_decomposition(g)
+        assert omega <= decomp.kmax + 1
+        assert omega <= td.tmax  # a q-clique is a q-truss
+
+    def test_figure2_relationships(self, figure2):
+        omega = len(max_clique(figure2))
+        assert omega == 4
+        assert core_decomposition(figure2).kmax == 3  # omega - 1
+        assert truss_decomposition(figure2).tmax == 4  # omega
+        assert ecc_decomposition(figure2).kmax == 3
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_max_clique_lives_in_deepest_structures(self, seed):
+        g = random_graph(22, 100, seed)
+        if g.num_edges == 0:
+            return
+        clique = set(max_clique(g).tolist())
+        q = len(clique)
+        if q < 3:
+            return
+        decomp = core_decomposition(g)
+        # Every clique member has coreness >= q - 1.
+        assert all(decomp.coreness[v] >= q - 1 for v in clique)
+        td = truss_decomposition(g)
+        # Every clique edge has truss number >= q.
+        truss_of = dict(zip(map(tuple, td.edges.tolist()), td.truss.tolist()))
+        for u in clique:
+            for v in clique:
+                if u < v:
+                    assert truss_of[(u, v)] >= q

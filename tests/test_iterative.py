@@ -1,0 +1,73 @@
+"""Tests for the h-index and semi-external core decomposition engines."""
+
+import numpy as np
+import pytest
+
+from repro.core import core_decomposition
+from repro.core.iterative import (
+    core_decomposition_hindex,
+    semi_external_core_decomposition,
+)
+from repro.graph import save_edge_list
+from conftest import random_graph, zoo_params
+
+
+class TestHIndexEngine:
+    @zoo_params()
+    def test_matches_bz(self, graph):
+        expected = core_decomposition(graph).coreness
+        got = core_decomposition_hindex(graph)
+        assert got.tolist() == expected.tolist()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bz_random(self, seed):
+        g = random_graph(40, 140, seed)
+        assert core_decomposition_hindex(g).tolist() == core_decomposition(g).coreness.tolist()
+
+    def test_monotone_upper_bound(self, figure2):
+        # One round only: estimates are still upper bounds on coreness.
+        partial = core_decomposition_hindex(figure2, max_rounds=1)
+        exact = core_decomposition(figure2).coreness
+        assert (partial >= exact).all()
+
+
+class TestSemiExternalEngine:
+    def test_matches_in_memory(self, figure2, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(figure2, path)
+        result = semi_external_core_decomposition(path)
+        expected = core_decomposition(figure2).coreness
+        # Labels are first-seen ints equal to the original ids here.
+        by_label = {label: int(c) for label, c in zip(result.labels, result.coreness)}
+        assert {v: int(expected[v]) for v in range(12)} == by_label
+
+    def test_gzip_input(self, figure2, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        save_edge_list(figure2, path)
+        result = semi_external_core_decomposition(path)
+        assert result.coreness.max() == 3
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, seed, tmp_path):
+        g = random_graph(35, 90, seed)
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        result = semi_external_core_decomposition(path)
+        expected = core_decomposition(g).coreness
+        by_label = {label: int(c) for label, c in zip(result.labels, result.coreness)}
+        for v in range(g.num_vertices):
+            if g.degree(v):  # isolated vertices never appear in an edge list
+                assert by_label[v] == int(expected[v])
+
+    def test_reports_pass_count(self, figure2, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(figure2, path)
+        result = semi_external_core_decomposition(path)
+        assert result.passes >= 2  # degree pass + at least one refinement
+
+    def test_string_labels(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\nb c\nc a\n")
+        result = semi_external_core_decomposition(path)
+        assert set(result.labels) == {"a", "b", "c"}
+        assert (result.coreness == 2).all()

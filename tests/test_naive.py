@@ -1,0 +1,87 @@
+"""Self-consistency tests for the naive oracles.
+
+The oracles verify the optimised code elsewhere; here the oracles
+themselves are pinned on hand-checkable instances so a bug in an oracle
+cannot silently validate a matching bug in the production code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.naive import (
+    all_kcores_naive,
+    best_kcore_set_naive,
+    coreness_naive,
+    kcore_set_scores_naive,
+    kcore_set_vertices_naive,
+    kcores_naive,
+    primary_values_naive,
+)
+from repro.graph import Graph
+
+
+class TestPeelingOracles:
+    def test_coreness_hand_checked(self, figure2):
+        # Figure 2, verified against the paper's Example 2 by hand.
+        assert coreness_naive(figure2).tolist() == [3, 3, 3, 3, 2, 2, 2, 2, 3, 3, 3, 3]
+
+    def test_kcore_set_shrinks(self, figure2):
+        assert len(kcore_set_vertices_naive(figure2, 0)) == 12
+        assert len(kcore_set_vertices_naive(figure2, 3)) == 8
+        assert len(kcore_set_vertices_naive(figure2, 4)) == 0
+
+    def test_kcores_connected_components(self, figure2):
+        cores = kcores_naive(figure2, 3)
+        assert sorted(sorted(c) for c in cores) == [[0, 1, 2, 3], [8, 9, 10, 11]]
+
+    def test_all_kcores_includes_every_level(self, figure2):
+        cores = all_kcores_naive(figure2)
+        levels = {k for k, _ in cores}
+        assert levels == {0, 1, 2, 3}
+        # Levels 0..2 all describe the same single component here.
+        for k in (0, 1, 2):
+            comps = [c for kk, c in cores if kk == k]
+            assert comps == [frozenset(range(12))]
+
+    def test_path_has_no_2core(self, path5):
+        assert len(kcore_set_vertices_naive(path5, 2)) == 0
+
+
+class TestPrimaryValueOracle:
+    def test_whole_figure2(self, figure2):
+        pv = primary_values_naive(figure2, range(12))
+        assert (pv.num_vertices, pv.num_edges, pv.num_boundary) == (12, 19, 0)
+        assert pv.num_triangles == 10
+        assert pv.num_triplets == sum(
+            d * (d - 1) // 2 for d in figure2.degrees().tolist()
+        )
+
+    def test_k4_subset(self, figure2):
+        pv = primary_values_naive(figure2, [0, 1, 2, 3])
+        assert pv.num_edges == 6
+        assert pv.num_triangles == 4
+        assert pv.num_triplets == 12
+        # Boundary: v3 (index 2) touches v5 and v6 outside.
+        assert pv.num_boundary == 2
+
+    def test_without_triangles(self, figure2):
+        pv = primary_values_naive(figure2, [0, 1], count_triangles=False)
+        assert pv.num_triangles is None
+
+    def test_empty_subset(self, figure2):
+        pv = primary_values_naive(figure2, [])
+        assert pv.num_vertices == 0 and pv.num_edges == 0
+
+
+class TestScoringOracles:
+    def test_scores_per_k_hand_checked(self, figure2):
+        scores = kcore_set_scores_naive(figure2, "average_degree")
+        assert scores[3] == pytest.approx(3.0)
+        assert scores[2] == pytest.approx(2 * 19 / 12)
+        assert scores[0] == scores[1] == scores[2]
+
+    def test_best_k_tie_break(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        k, score = best_kcore_set_naive(g, "average_degree")
+        assert k == 2  # all of k = 0, 1, 2 tie at 2.0; largest wins
+        assert score == pytest.approx(2.0)

@@ -1,0 +1,56 @@
+"""Tests for the combined experiment report generator."""
+
+import pathlib
+
+import pytest
+
+from repro.bench.report import EXPERIMENT_ORDER, run_all_experiments
+
+
+class TestRegistry:
+    def test_covers_every_design_entry(self):
+        names = {e.name for e in EXPERIMENT_ORDER}
+        # Every paper table/figure...
+        assert {"table3", "table4", "fig5", "fig6", "case_study",
+                "fig7", "fig8", "table8", "table9"} <= names
+        # ... every ablation ...
+        assert {"ablation_ordering", "ablation_forest",
+                "ablation_index_reuse", "ablation_dynamic"} <= names
+        # ... every extension.
+        assert {"extension_truss", "extension_weighted",
+                "extension_communities", "extension_spreaders",
+                "extension_ecc"} <= names
+
+    def test_names_unique(self):
+        names = [e.name for e in EXPERIMENT_ORDER]
+        assert len(names) == len(set(names))
+
+
+class TestRunAll:
+    def test_subset_report(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.15")
+        logs = []
+        report = run_all_experiments(
+            tmp_path, only=("table3", "extension_ecc"), echo=logs.append
+        )
+        assert report.exists()
+        text = report.read_text()
+        assert "Table III" in text
+        assert "Extension E5" in text
+        assert "Figure 7" not in text
+        assert (tmp_path / "table3.txt").exists()
+        assert (tmp_path / "extension_ecc.txt").exists()
+        assert len(logs) == 2
+
+    def test_figures_write_artifacts(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.15")
+        run_all_experiments(tmp_path, only=("fig5",), echo=lambda _: None)
+        assert (tmp_path / "fig5.csv").exists()
+        assert (tmp_path / "fig5.svg").exists()
+        assert (tmp_path / "fig5.svg").read_text().startswith("<svg")
+
+    def test_creates_output_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.15")
+        nested = tmp_path / "a" / "b"
+        report = run_all_experiments(nested, only=("table3",), echo=lambda _: None)
+        assert report.parent == nested

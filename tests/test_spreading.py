@@ -1,0 +1,103 @@
+"""Tests for the SIR spreading substrate."""
+
+import numpy as np
+import pytest
+
+from repro.apps.spreading import (
+    sir_outbreak_size,
+    sir_trial,
+    spreader_precision,
+    spreading_power,
+)
+from repro.core import core_decomposition
+from repro.graph import Graph
+from conftest import random_graph
+
+
+class TestSirTrial:
+    def test_beta_zero_stays_at_seed(self, figure2):
+        rng = np.random.default_rng(0)
+        assert sir_trial(figure2, 0, beta=0.0, gamma=1.0, rng=rng) == 1
+
+    def test_beta_one_fills_component(self, figure2):
+        rng = np.random.default_rng(0)
+        assert sir_trial(figure2, 0, beta=1.0, gamma=1.0, rng=rng) == 12
+
+    def test_isolated_seed(self):
+        g = Graph.empty(3)
+        rng = np.random.default_rng(0)
+        assert sir_trial(g, 1, beta=1.0, gamma=1.0, rng=rng) == 1
+
+    def test_outbreak_bounded_by_component(self, two_components):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            assert sir_trial(two_components, 3, beta=1.0, gamma=0.5, rng=rng) <= 3
+
+    def test_parameter_validation(self, figure2):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sir_trial(figure2, 0, beta=1.5, gamma=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            sir_trial(figure2, 0, beta=0.5, gamma=0.0, rng=rng)
+
+    def test_low_gamma_spreads_more(self, figure2):
+        sizes = []
+        for gamma in (1.0, 0.2):
+            total = 0
+            rng = np.random.default_rng(3)
+            for _ in range(200):
+                total += sir_trial(figure2, 5, beta=0.3, gamma=gamma, rng=rng)
+            sizes.append(total / 200)
+        assert sizes[1] > sizes[0]
+
+
+class TestSpreadingPower:
+    def test_average_and_determinism(self, figure2):
+        a = sir_outbreak_size(figure2, 0, beta=0.4, trials=30, seed=7)
+        b = sir_outbreak_size(figure2, 0, beta=0.4, trials=30, seed=7)
+        assert a == b
+        assert 1.0 <= a <= 12.0
+
+    def test_power_aligned_with_vertices(self, figure2):
+        verts = np.array([0, 5, 11])
+        power = spreading_power(figure2, verts, beta=0.5, trials=10, seed=1)
+        assert power.shape == (3,)
+        assert (power >= 1.0).all()
+
+    def test_hub_beats_leaf_on_star(self, star):
+        power = spreading_power(star, np.array([0, 1]), beta=0.5, trials=300, seed=2)
+        assert power[0] > power[1]
+
+    def test_default_beta_regime(self):
+        g = random_graph(60, 180, seed=8)
+        power = spreading_power(g, np.arange(10), trials=5, seed=3)
+        assert len(power) == 10
+
+
+class TestSpreaderPrecision:
+    def test_perfect_predictor(self):
+        truth = np.array([5.0, 4.0, 3.0, 2.0, 1.0, 0.5, 0.4, 0.3, 0.2, 0.1])
+        assert spreader_precision(truth, truth, top_fraction=0.3) == 1.0
+
+    def test_anti_predictor(self):
+        truth = np.arange(10, dtype=np.float64)
+        assert spreader_precision(-truth, truth, top_fraction=0.2) == 0.0
+
+    def test_alignment_checked(self):
+        with pytest.raises(ValueError):
+            spreader_precision(np.ones(3), np.ones(4))
+
+    def test_kitsak_shape_on_collaboration_graph(self):
+        """Coreness should predict spreading at least as well as a random
+        ranking, and comparably to degree (the Kitsak et al. pattern)."""
+        from repro.generators import collaboration_cliques
+        g = collaboration_cliques(220, 110, (3, 7), seed=12)
+        decomp = core_decomposition(g)
+        rng = np.random.default_rng(0)
+        sample = rng.choice(g.num_vertices, size=60, replace=False)
+        power = spreading_power(g, sample, trials=8, seed=4)
+        coreness = decomp.coreness[sample].astype(np.float64)
+        random_scores = rng.random(len(sample))
+        core_prec = spreader_precision(coreness, power, top_fraction=0.2)
+        rand_prec = spreader_precision(random_scores, power, top_fraction=0.2)
+        assert core_prec >= rand_prec

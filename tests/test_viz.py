@@ -1,0 +1,88 @@
+"""Tests for the plain-text visualisations."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import sparkline
+from repro.core import build_core_forest, core_decomposition, kcore_scores, kcore_set_scores
+from repro.graph import Graph
+from repro.viz import render_forest, render_score_profile, render_shell_histogram
+
+
+class TestRenderForest:
+    def test_figure2_tree(self, figure2):
+        forest = build_core_forest(figure2)
+        text = render_forest(forest)
+        assert "2-core" in text
+        assert text.count("3-core") == 2
+        assert "|core|=12" in text
+        assert "|shell|=4" in text
+
+    def test_scores_annotated(self, figure2):
+        forest = build_core_forest(figure2)
+        scores = kcore_scores(figure2, "ad", forest=forest).scores
+        text = render_forest(forest, scores=scores)
+        assert "score=3.167" in text
+        assert "score=3" in text
+
+    def test_truncation(self):
+        # Many disjoint edges -> many roots.
+        g = Graph.from_edges([(2 * i, 2 * i + 1) for i in range(50)])
+        forest = build_core_forest(g)
+        text = render_forest(forest, max_roots=5)
+        assert "more trees" in text
+
+    def test_node_truncation(self):
+        g = Graph.from_edges([(2 * i, 2 * i + 1) for i in range(50)])
+        forest = build_core_forest(g)
+        text = render_forest(forest, max_nodes=3, max_roots=50)
+        assert "more cores elided" in text
+
+    def test_empty_forest(self, empty_graph):
+        forest = build_core_forest(empty_graph)
+        assert render_forest(forest) == "(empty forest)"
+
+
+class TestRenderShellHistogram:
+    def test_figure2(self, figure2):
+        text = render_shell_histogram(core_decomposition(figure2))
+        assert "kmax=3" in text
+        assert "k=   2" in text
+        assert "k=   3" in text
+        assert "k=   1" not in text  # empty shell omitted
+
+    def test_empty(self, empty_graph):
+        text = render_shell_histogram(core_decomposition(empty_graph))
+        assert "no vertices" in text
+
+
+class TestRenderScoreProfile:
+    def test_figure2_cc(self, figure2):
+        scores = kcore_set_scores(figure2, "cc")
+        text = render_score_profile(scores)
+        assert "best k = 3" in text
+        assert "clustering_coefficient" in text
+        assert "worst k" in text
+
+    def test_contains_sparkline_chars(self, figure2):
+        scores = kcore_set_scores(figure2, "ad")
+        text = render_score_profile(scores)
+        assert any(c in text for c in "▁▂▃▄▅▆▇█")
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+    def test_constant(self):
+        assert sparkline([2.0, 2.0]) == "▁▁"
+
+    def test_monotone(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_width_decimation(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
