@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Benchmark the kernel backends against each other.
+
+Times the three hot-path kernels — ``core_decomposition`` (degree peeling),
+``count_triangles`` (forward triangle counting) and ``connected_components``
+— under both registered backends on a suite of synthetic generator graphs,
+the largest of which has ~100k edges.  Results are written as JSON with one
+row per ``(kernel, backend, dataset)``:
+
+    {"kernel": ..., "backend": ..., "dataset": ..., "n": ..., "m": ...,
+     "seconds": ...}
+
+plus a ``speedups`` section recording ``python_seconds / numpy_seconds`` per
+kernel and dataset.  This file seeds the repo's performance trajectory: the
+acceptance bar is a >= 5x speedup on ``core_decomposition`` for the largest
+dataset.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # full suite
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_kernels.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.generators.random_graphs import powerlaw_chung_lu
+from repro.generators.rmat import rmat_graph
+from repro.generators.smallworld import watts_strogatz
+from repro.graph.csr import Graph
+from repro.kernels import get_backend
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+#: name -> zero-argument factory; ordered by ascending size.  The *-100k
+#: entries are the "100k-edge generator graphs" of the acceptance bar.
+SUITE = {
+    "cl-10k": lambda: powerlaw_chung_lu(4_000, 5.0, 2.3, seed=7),
+    "ws-25k": lambda: watts_strogatz(6_250, 4, 0.1, seed=7),
+    "rmat-30k": lambda: rmat_graph(13, 30_000, seed=7),
+    "cl-100k": lambda: powerlaw_chung_lu(20_000, 10.0, 2.3, seed=7),
+    "ws-100k": lambda: watts_strogatz(25_000, 4, 0.1, seed=7),
+}
+QUICK_SUITE = ("cl-10k",)
+
+#: kernel name -> callable(backend, graph) running exactly one kernel pass.
+KERNELS = {
+    "core_decomposition": lambda kb, g: kb.peel_coreness(g),
+    "count_triangles": lambda kb, g: kb.count_triangles(g),
+    "connected_components": lambda kb, g: kb.connected_components(
+        g, _full_mask(g)
+    ),
+}
+
+
+def _full_mask(graph: Graph):
+    import numpy as np
+
+    return np.ones(graph.num_vertices, dtype=bool)
+
+
+def time_kernel(run, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of one kernel invocation."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmarks(
+    dataset_names: tuple[str, ...], repeats: int, backends: tuple[str, ...]
+) -> dict:
+    rows = []
+    for name in dataset_names:
+        graph = SUITE[name]()
+        n, m = graph.num_vertices, graph.num_edges
+        print(f"[{name}] n={n} m={m}", flush=True)
+        for kernel, call in KERNELS.items():
+            for backend_name in backends:
+                backend = get_backend(backend_name)
+                seconds = time_kernel(lambda: call(backend, graph), repeats)
+                rows.append(
+                    {
+                        "kernel": kernel,
+                        "backend": backend_name,
+                        "dataset": name,
+                        "n": n,
+                        "m": m,
+                        "seconds": seconds,
+                    }
+                )
+                print(f"  {kernel:22s} {backend_name:7s} {seconds * 1e3:10.2f} ms", flush=True)
+
+    speedups: dict[str, dict[str, float]] = {}
+    by_key = {(r["kernel"], r["backend"], r["dataset"]): r["seconds"] for r in rows}
+    for kernel in KERNELS:
+        speedups[kernel] = {}
+        for name in dataset_names:
+            py = by_key.get((kernel, "python", name))
+            vec = by_key.get((kernel, "numpy", name))
+            if py and vec:
+                speedups[kernel][name] = round(py / vec, 2)
+    return {"rows": rows, "speedups": speedups}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smallest dataset only, one repeat (CI smoke test)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per kernel (best-of)"
+    )
+    parser.add_argument(
+        "-o", "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT.name} at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    names = QUICK_SUITE if args.quick else tuple(SUITE)
+    repeats = 1 if args.quick else args.repeats
+    report = run_benchmarks(names, repeats, backends=("python", "numpy"))
+
+    report["output"] = {"quick": args.quick, "repeats": repeats}
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    peel = report["speedups"]["core_decomposition"]
+    largest = names[-1]
+    print(f"core_decomposition speedup on {largest}: {peel[largest]:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,6 +57,7 @@ from .errors import ReproError
 from .generators import load_dataset
 from .graph import Graph, GraphBuilder, load_edge_list, save_edge_list
 from .truss import best_ktruss_set, truss_decomposition
+from .kernels import KernelBackend, available_backends, get_backend, register_backend
 from .weighted import best_s_core_set, s_core_decomposition
 
 __version__ = "1.0.0"
@@ -71,12 +72,14 @@ __all__ = [
     "GraphBuilder",
     "KCoreScores",
     "KCoreSetScores",
+    "KernelBackend",
     "Metric",
     "OptSC",
     "OrderedGraph",
     "PAPER_METRICS",
     "ReproError",
     "SizedCoreResult",
+    "available_backends",
     "available_metrics",
     "best_kcore_set",
     "best_ktruss_set",
@@ -86,6 +89,7 @@ __all__ = [
     "core_app",
     "core_decomposition",
     "densest_subgraph_exact",
+    "get_backend",
     "get_metric",
     "greedy_peel_densest",
     "kcore_scores",
@@ -98,6 +102,7 @@ __all__ = [
     "opt_d",
     "order_vertices",
     "partition_modularity",
+    "register_backend",
     "register_metric",
     "s_core_decomposition",
     "save_edge_list",

@@ -1,9 +1,13 @@
 """Core decomposition (coreness of every vertex) — paper Section II-A.
 
-Implements the Batagelj–Zaversnik bucket-peeling algorithm [7]: repeatedly
-remove the vertex of minimum remaining degree; the degree at removal time,
-monotonically clipped, is the vertex's *coreness*.  With degree-indexed
-buckets the whole decomposition takes ``O(m)`` time and ``O(n)`` extra space.
+Coreness is computed by the selected kernel backend (see
+:mod:`repro.kernels`): the ``python`` backend runs the Batagelj–Zaversnik
+bucket peel [7] — repeatedly remove the vertex of minimum remaining degree;
+the degree at removal time, monotonically clipped, is the vertex's
+*coreness* — while the default ``numpy`` backend uses the equivalent
+repeated-pruning formulation, which removes whole degree-``<= k`` frontiers
+per array pass.  Both take ``O(m)`` time and ``O(n)`` extra space and agree
+exactly (coreness values are unique).
 
 The result object :class:`CoreDecomposition` caches the artefacts every other
 algorithm in this package needs:
@@ -13,7 +17,10 @@ algorithm in this package needs:
 * ``order`` — vertices sorted by ascending coreness (bin sort, paper III-A),
   with ``shell_start`` giving O(1) slicing of any shell or k-core set;
 * ``peel_order`` — the exact removal sequence (a degeneracy ordering), used
-  by the clique solver and by the LCPS tie-breaking tests.
+  by the clique solver and by the LCPS tie-breaking tests.  The frontier
+  formulation has no single removal sequence, so under the vectorised
+  backend this is computed lazily by the shared bucket loop on first
+  access — algorithms that only need coreness never pay for it.
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.csr import Graph
+from ..kernels import KernelBackend, get_backend
+from ..kernels.common import exact_peel
 
 __all__ = ["CoreDecomposition", "core_decomposition"]
 
@@ -38,8 +47,8 @@ class CoreDecomposition:
     graph: Graph
     #: ``coreness[v]`` = max k with v in the k-core set.
     coreness: np.ndarray
-    #: Exact peeling sequence (a degeneracy ordering of the vertices).
-    peel_order: np.ndarray
+    #: Exact peeling sequence; ``None`` until first ``peel_order`` access.
+    _peel_order: np.ndarray | None = None
     #: Vertices sorted by ascending coreness, ties by ascending id.
     order: np.ndarray = field(init=False)
     #: ``order[shell_start[k]:shell_start[k+1]]`` is the k-shell;
@@ -56,10 +65,26 @@ class CoreDecomposition:
         order = np.argsort(coreness, kind="stable").astype(np.int64)
         object.__setattr__(self, "order", order)
         object.__setattr__(self, "shell_start", shell_start)
-        for arr in (self.coreness, self.peel_order, order, shell_start):
-            arr.setflags(write=False)
+        arrays = (self.coreness, self._peel_order, order, shell_start)
+        for arr in arrays:
+            if arr is not None:
+                arr.setflags(write=False)
 
     # ------------------------------------------------------------------
+    @property
+    def peel_order(self) -> np.ndarray:
+        """Exact bucket-peel removal sequence (a degeneracy ordering).
+
+        Identical under every backend; computed on first access when the
+        decomposition came from a frontier-peeling backend.
+        """
+        peel = self._peel_order
+        if peel is None:
+            _, peel = exact_peel(self.graph)
+            peel.setflags(write=False)
+            object.__setattr__(self, "_peel_order", peel)
+        return peel
+
     @property
     def kmax(self) -> int:
         """Graph degeneracy: the largest k with a non-empty k-core."""
@@ -90,63 +115,27 @@ class CoreDecomposition:
         return f"CoreDecomposition(n={len(self.coreness)}, kmax={self.kmax})"
 
 
-def core_decomposition(graph: Graph) -> CoreDecomposition:
+def core_decomposition(
+    graph: Graph, *, backend: str | KernelBackend | None = None
+) -> CoreDecomposition:
     """Compute the coreness of every vertex in ``O(m)`` time.
 
-    This is the array formulation of Batagelj–Zaversnik peeling: vertices are
-    kept in a single array ``vert`` sorted by current degree, with
-    ``bin_start[d]`` marking where degree-``d`` vertices begin.  Removing the
-    minimum-degree vertex and decrementing a neighbour's degree are both O(1)
-    swap-and-shift operations.
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    backend:
+        Kernel backend selector (name, instance, or ``None`` for the
+        ``REPRO_BACKEND`` / default resolution) — see :mod:`repro.kernels`.
     """
     n = graph.num_vertices
     if n == 0:
         empty = np.empty(0, dtype=np.int64)
-        return CoreDecomposition(graph, empty.copy(), empty.copy())
+        return CoreDecomposition(graph, empty, empty.copy())
 
-    indptr, indices = graph.indptr, graph.indices
-    deg = graph.degrees().astype(np.int64)
-    max_deg = int(deg.max()) if n else 0
-
-    # vert: vertices sorted by degree; pos[v]: index of v in vert;
-    # bin_start[d]: first index in vert holding a degree-d vertex.
-    counts = np.bincount(deg, minlength=max_deg + 1)
-    bin_start = np.zeros(max_deg + 2, dtype=np.int64)
-    np.cumsum(counts, out=bin_start[1:])
-    bin_start = bin_start[:-1].copy()
-    vert = np.argsort(deg, kind="stable").astype(np.int64)
-    pos = np.empty(n, dtype=np.int64)
-    pos[vert] = np.arange(n, dtype=np.int64)
-
-    # Plain Python ints in the hot loop: numpy scalar arithmetic is ~5x
-    # slower per operation than int arithmetic on small values.
-    vert_l = vert.tolist()
-    pos_l = pos.tolist()
-    deg_l = deg.tolist()
-    bin_start_l = bin_start.tolist()
-    indptr_l = indptr.tolist()
-    indices_l = indices.tolist()
-    core_l = deg_l.copy()
-
-    for i in range(n):
-        v = vert_l[i]
-        dv = deg_l[v]
-        core_l[v] = dv
-        for j in range(indptr_l[v], indptr_l[v + 1]):
-            u = indices_l[j]
-            du = deg_l[u]
-            if du > dv:
-                # Swap u with the first vertex of its bucket, then shrink
-                # the bucket from the left: u's degree drops by one.
-                first = bin_start_l[du]
-                w = vert_l[first]
-                if u != w:
-                    pu, pw = pos_l[u], first
-                    vert_l[first], vert_l[pu] = u, w
-                    pos_l[u], pos_l[w] = pw, pu
-                bin_start_l[du] = first + 1
-                deg_l[u] = du - 1
-
-    coreness = np.asarray(core_l, dtype=np.int64)
-    peel_order = np.asarray(vert_l, dtype=np.int64)
-    return CoreDecomposition(graph, coreness, peel_order)
+    kernels = get_backend(backend)
+    if kernels.name == "python":
+        # The scalar reference produces the exact peel order as a byproduct.
+        coreness, peel_order = kernels.peel_exact(graph)
+        return CoreDecomposition(graph, coreness, peel_order)
+    return CoreDecomposition(graph, kernels.peel_coreness(graph))

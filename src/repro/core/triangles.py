@@ -5,6 +5,11 @@ for Algorithm 3's incremental counters.  The triangle counter is the
 *forward* algorithm of Latapy [35]: orient every edge from lower to higher
 degeneracy rank and intersect the out-neighbourhoods of the two endpoints.
 Its ``O(m^1.5)`` bound is the optimality yardstick the paper cites.
+
+The counting itself runs on the selected kernel backend (see
+:mod:`repro.kernels`): the ``python`` backend intersects one out-list pair
+at a time, the default ``numpy`` backend batches every intersection into
+chunked ``np.searchsorted`` passes over keyed out-lists.
 """
 
 from __future__ import annotations
@@ -12,6 +17,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import Graph
+from ..kernels import KernelBackend, get_backend
+from ..kernels.common import concat_ranges as _concat_ranges
+from ..kernels.common import rank_forward_adjacency as _rank_forward_adjacency
 
 __all__ = [
     "count_triangles",
@@ -23,96 +31,33 @@ __all__ = [
 ]
 
 
-def _rank_forward_adjacency(graph: Graph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Build out-adjacency under a degree-based total order.
-
-    Vertices are ordered by ``(degree, id)``; each edge is kept only from the
-    lower-ordered endpoint to the higher one, and each out-list is sorted by
-    the order value so membership tests are binary searches.  Ordering by
-    degree bounds every out-degree by ``O(sqrt(m))`` on the heavy side, the
-    classic argument behind the ``O(m^1.5)`` running time.
-    """
-    n = graph.num_vertices
-    degrees = graph.degrees()
-    order_val = np.empty(n, dtype=np.int64)
-    order_val[np.lexsort((np.arange(n), degrees))] = np.arange(n, dtype=np.int64)
-
-    src = np.repeat(np.arange(n, dtype=np.int64), degrees)
-    dst = graph.indices
-    keep = order_val[src] < order_val[dst]
-    src, dst = src[keep], dst[keep]
-    perm = np.lexsort((order_val[dst], src))
-    src, dst = src[perm], dst[perm]
-    out_ptr = np.zeros(n + 1, dtype=np.int64)
-    np.add.at(out_ptr, src + 1, 1)
-    np.cumsum(out_ptr, out=out_ptr)
-    return out_ptr, dst, order_val
-
-
-def count_triangles(graph: Graph) -> int:
+def count_triangles(graph: Graph, *, backend: str | KernelBackend | None = None) -> int:
     """Number of triangles in ``graph`` (each counted once)."""
-    out_ptr, out_idx, order_val = _rank_forward_adjacency(graph)
-    out_rank = order_val[out_idx]
-    total = 0
-    n = graph.num_vertices
-    for v in range(n):
-        a, b = out_ptr[v], out_ptr[v + 1]
-        if b - a < 1:
-            continue
-        ranks_v = out_rank[a:b]
-        for j in range(a, b):
-            u = out_idx[j]
-            ua, ub = out_ptr[u], out_ptr[u + 1]
-            if ua == ub:
-                continue
-            ranks_u = out_rank[ua:ub]
-            # Sorted-merge membership count: |out(v) ∩ out(u)|.
-            pos = np.searchsorted(ranks_u, ranks_v)
-            valid = pos < len(ranks_u)
-            total += int((ranks_u[pos[valid]] == ranks_v[valid]).sum())
-    return total
+    return get_backend(backend).count_triangles(graph)
 
 
 def count_triplets(graph: Graph) -> int:
     """Number of triplets: ``sum_v C(d(v), 2)`` (paths of length two)."""
-    d = graph.degrees().astype(np.int64)
+    d = graph.degrees()
     return int((d * (d - 1) // 2).sum())
 
 
-def count_triangles_and_triplets(graph: Graph) -> tuple[int, int]:
+def count_triangles_and_triplets(
+    graph: Graph, *, backend: str | KernelBackend | None = None
+) -> tuple[int, int]:
     """Both counts in one call (the pair every triangle metric needs)."""
-    return count_triangles(graph), count_triplets(graph)
+    return count_triangles(graph, backend=backend), count_triplets(graph)
 
 
-def triangles_per_vertex(graph: Graph) -> np.ndarray:
+def triangles_per_vertex(
+    graph: Graph, *, backend: str | KernelBackend | None = None
+) -> np.ndarray:
     """Number of triangles through each vertex (length ``n`` array).
 
     Needed by per-vertex metrics such as local clustering; also a stronger
     test oracle than the global count.
     """
-    out_ptr, out_idx, order_val = _rank_forward_adjacency(graph)
-    out_rank = order_val[out_idx]
-    n = graph.num_vertices
-    per_vertex = np.zeros(n, dtype=np.int64)
-    for v in range(n):
-        a, b = out_ptr[v], out_ptr[v + 1]
-        if b - a < 1:
-            continue
-        ranks_v = out_rank[a:b]
-        for j in range(a, b):
-            u = out_idx[j]
-            ua, ub = out_ptr[u], out_ptr[u + 1]
-            if ua == ub:
-                continue
-            ranks_u = out_rank[ua:ub]
-            pos = np.searchsorted(ranks_u, ranks_v)
-            valid = pos < len(ranks_u)
-            hits = np.flatnonzero(valid)[ranks_u[pos[valid]] == ranks_v[valid]]
-            if len(hits):
-                per_vertex[v] += len(hits)
-                per_vertex[u] += len(hits)
-                np.add.at(per_vertex, out_idx[a:b][hits], 1)
-    return per_vertex
+    return get_backend(backend).triangles_per_vertex(graph)
 
 
 # ----------------------------------------------------------------------
@@ -166,16 +111,6 @@ def triangles_by_min_rank_vertex(ordered) -> np.ndarray:
             count += int((hay[pos[valid]] == needle[valid]).sum())
         charges[v] = count
     return charges
-
-
-def _concat_ranges(indices: np.ndarray, starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
-    """Gather several ``indices[start:stop]`` slices into one flat array."""
-    lengths = stops - starts
-    total = int(lengths.sum())
-    if total == 0:
-        return indices[:0]
-    offsets = np.repeat(stops - np.cumsum(lengths), lengths)
-    return indices[offsets + np.arange(total, dtype=np.int64)]
 
 
 def triplet_group_deltas(ordered, groups: list[np.ndarray]) -> np.ndarray:

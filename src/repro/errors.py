@@ -35,6 +35,20 @@ class UnknownMetricError(ReproError, KeyError):
         super().__init__(f"unknown community metric {name!r}{hint}")
 
 
+class UnknownBackendError(ReproError, KeyError):
+    """A kernel backend name is not present in the registry.
+
+    Raised by :func:`repro.kernels.get_backend` for unknown ``backend=``
+    arguments and unknown ``REPRO_BACKEND`` environment values.
+    """
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = available
+        hint = f"; available: {', '.join(available)}" if available else ""
+        super().__init__(f"unknown kernel backend {name!r}{hint}")
+
+
 class MetricRequirementError(ReproError):
     """A metric was evaluated without the primary values it requires.
 

@@ -48,7 +48,7 @@ class Graph:
         ``False`` only for arrays produced by trusted internal code.
     """
 
-    __slots__ = ("_indptr", "_indices")
+    __slots__ = ("_indptr", "_indices", "_degrees")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
@@ -59,6 +59,10 @@ class Graph:
         self._indices = indices
         self._indptr.setflags(write=False)
         self._indices.setflags(write=False)
+        # Cached once: every decomposition/ordering/stats pass reads degrees,
+        # and int64 diff of indptr is already the canonical dtype.
+        self._degrees = np.diff(indptr)
+        self._degrees.setflags(write=False)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -141,8 +145,12 @@ class Graph:
         return int(self._indptr[v + 1] - self._indptr[v])
 
     def degrees(self) -> np.ndarray:
-        """Array of all vertex degrees (length ``n``)."""
-        return np.diff(self._indptr)
+        """Read-only int64 array of all vertex degrees (length ``n``).
+
+        Cached at construction; callers that mutate degrees (the peeling
+        kernels) must take a ``.copy()``.
+        """
+        return self._degrees
 
     def neighbors(self, v: int) -> np.ndarray:
         """Read-only array of neighbours of ``v``, sorted by vertex id."""

@@ -12,6 +12,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..kernels import KernelBackend, get_backend
 from .csr import Graph
 
 __all__ = [
@@ -86,8 +87,17 @@ def subgraph_counts(graph: Graph, vertices: Iterable[int]) -> tuple[int, int, in
     return n_s, inside // 2, total - inside
 
 
-def connected_components(graph: Graph, within: Iterable[int] | None = None) -> tuple[np.ndarray, int]:
-    """Label connected components with iterative BFS.
+def connected_components(
+    graph: Graph,
+    within: Iterable[int] | None = None,
+    *,
+    backend: str | KernelBackend | None = None,
+) -> tuple[np.ndarray, int]:
+    """Label connected components of the (optionally induced) graph.
+
+    Runs on the selected kernel backend (:mod:`repro.kernels`): iterative
+    BFS under ``python``, vectorised min-label union-find under ``numpy``.
+    Both label components ``0..count-1`` by ascending minimum member id.
 
     Parameters
     ----------
@@ -96,6 +106,9 @@ def connected_components(graph: Graph, within: Iterable[int] | None = None) -> t
     within:
         Optional vertex subset; components are computed in the induced
         subgraph, and vertices outside get label ``-1``.
+    backend:
+        Kernel backend selector (name, instance, or ``None`` for the
+        ``REPRO_BACKEND`` / default resolution).
 
     Returns
     -------
@@ -108,26 +121,7 @@ def connected_components(graph: Graph, within: Iterable[int] | None = None) -> t
         active = np.ones(n, dtype=bool)
     else:
         active = _member_mask(graph, within)
-    labels = np.full(n, -1, dtype=np.int64)
-    indptr, indices = graph.indptr, graph.indices
-    count = 0
-    queue = np.empty(n, dtype=np.int64)
-    for start in np.flatnonzero(active):
-        if labels[start] != -1:
-            continue
-        labels[start] = count
-        queue[0] = start
-        head, tail = 0, 1
-        while head < tail:
-            v = queue[head]
-            head += 1
-            for w in indices[indptr[v]:indptr[v + 1]]:
-                if active[w] and labels[w] == -1:
-                    labels[w] = count
-                    queue[tail] = w
-                    tail += 1
-        count += 1
-    return labels, count
+    return get_backend(backend).connected_components(graph, active)
 
 
 def component_of(graph: Graph, source: int, within: Iterable[int] | None = None) -> np.ndarray:

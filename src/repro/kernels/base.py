@@ -1,0 +1,97 @@
+"""The kernel backend interface.
+
+A *kernel* is one of the O(m)-ish inner computations every algorithm in the
+package funnels through: degree peeling, forward triangle counting,
+per-edge triangle supports, connected components, and weighted strength
+accumulation.  A *backend* is one implementation strategy for all of them;
+the ``python`` backend is the bit-identical scalar reference and the
+``numpy`` backend replaces the per-vertex loops with whole-frontier array
+passes (see :mod:`repro.kernels.numpy_backend`).
+
+Backends are stateless: every method takes the graph (plus kernel-specific
+inputs) and returns plain numpy arrays.  Both backends must return *exactly*
+the same values — the equivalence suite in ``tests/test_kernels.py`` holds
+them to integer-for-integer equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import Graph
+from .common import exact_peel
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend:
+    """Abstract base: one implementation strategy for all hot-path kernels."""
+
+    #: Registry key (``REPRO_BACKEND`` value) identifying the backend.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Core peeling
+    # ------------------------------------------------------------------
+    def peel_coreness(self, graph: Graph) -> np.ndarray:
+        """Coreness of every vertex (length-``n`` int64 array).
+
+        Backends may use any peeling formulation — coreness values are
+        unique, so all correct implementations agree exactly.
+        """
+        raise NotImplementedError
+
+    def peel_exact(self, graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+        """``(coreness, peel_order)`` with the exact bucket-peel order.
+
+        The removal sequence of Batagelj–Zaversnik peeling depends on
+        one-at-a-time degree updates and does not vectorise; every backend
+        shares the scalar bucket loop so ``peel_order`` is identical
+        everywhere.
+        """
+        return exact_peel(graph)
+
+    # ------------------------------------------------------------------
+    # Triangles
+    # ------------------------------------------------------------------
+    def count_triangles(self, graph: Graph) -> int:
+        """Number of triangles in ``graph`` (each counted once)."""
+        raise NotImplementedError
+
+    def triangles_per_vertex(self, graph: Graph) -> np.ndarray:
+        """Number of triangles through each vertex (length-``n`` array)."""
+        raise NotImplementedError
+
+    def edge_supports(self, graph: Graph, edges: np.ndarray) -> np.ndarray:
+        """Triangles through each edge of ``edges`` (an ``(m, 2)`` array).
+
+        This is the truss decomposition's initial *support* vector.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+    def connected_components(self, graph: Graph, active: np.ndarray) -> tuple[np.ndarray, int]:
+        """Component labels over the subgraph induced by ``active``.
+
+        ``active`` is a length-``n`` boolean mask.  Returns ``(labels,
+        count)`` where inactive vertices get label ``-1`` and active
+        components are numbered ``0..count-1`` by ascending minimum member
+        id (the order BFS from the smallest unvisited vertex produces).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Weighted graphs
+    # ------------------------------------------------------------------
+    def vertex_strengths(self, graph: Graph, arc_weights: np.ndarray) -> np.ndarray:
+        """Sum of incident arc weights per vertex (length-``n`` float64).
+
+        ``arc_weights`` is aligned with ``graph.indices`` (both directions
+        of every edge carry its weight).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,121 @@
+"""The scalar reference backend.
+
+Every kernel here is the original per-vertex/per-edge loop the package
+shipped with, verbatim — the bit-identical yardstick the vectorised backend
+is tested against.  Keep these implementations boring: their job is to be
+obviously correct, not fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import Graph
+from .base import KernelBackend
+from .common import exact_peel, rank_forward_adjacency
+
+__all__ = ["PythonBackend"]
+
+
+class PythonBackend(KernelBackend):
+    """Reference implementations: scalar loops over ``.tolist()`` copies."""
+
+    name = "python"
+
+    # ------------------------------------------------------------------
+    def peel_coreness(self, graph: Graph) -> np.ndarray:
+        coreness, _ = exact_peel(graph)
+        return coreness
+
+    # ------------------------------------------------------------------
+    def count_triangles(self, graph: Graph) -> int:
+        out_ptr, out_idx, order_val = rank_forward_adjacency(graph)
+        out_rank = order_val[out_idx]
+        total = 0
+        n = graph.num_vertices
+        for v in range(n):
+            a, b = out_ptr[v], out_ptr[v + 1]
+            if b - a < 1:
+                continue
+            ranks_v = out_rank[a:b]
+            for j in range(a, b):
+                u = out_idx[j]
+                ua, ub = out_ptr[u], out_ptr[u + 1]
+                if ua == ub:
+                    continue
+                ranks_u = out_rank[ua:ub]
+                # Sorted-merge membership count: |out(v) ∩ out(u)|.
+                pos = np.searchsorted(ranks_u, ranks_v)
+                valid = pos < len(ranks_u)
+                total += int((ranks_u[pos[valid]] == ranks_v[valid]).sum())
+        return total
+
+    def triangles_per_vertex(self, graph: Graph) -> np.ndarray:
+        out_ptr, out_idx, order_val = rank_forward_adjacency(graph)
+        out_rank = order_val[out_idx]
+        n = graph.num_vertices
+        per_vertex = np.zeros(n, dtype=np.int64)
+        for v in range(n):
+            a, b = out_ptr[v], out_ptr[v + 1]
+            if b - a < 1:
+                continue
+            ranks_v = out_rank[a:b]
+            for j in range(a, b):
+                u = out_idx[j]
+                ua, ub = out_ptr[u], out_ptr[u + 1]
+                if ua == ub:
+                    continue
+                ranks_u = out_rank[ua:ub]
+                pos = np.searchsorted(ranks_u, ranks_v)
+                valid = pos < len(ranks_u)
+                hits = np.flatnonzero(valid)[ranks_u[pos[valid]] == ranks_v[valid]]
+                if len(hits):
+                    per_vertex[v] += len(hits)
+                    per_vertex[u] += len(hits)
+                    np.add.at(per_vertex, out_idx[a:b][hits], 1)
+        return per_vertex
+
+    def edge_supports(self, graph: Graph, edges: np.ndarray) -> np.ndarray:
+        m = len(edges)
+        support = np.zeros(m, dtype=np.int64)
+        if m == 0:
+            return support
+        adj = [set(map(int, graph.neighbors(v))) for v in range(graph.num_vertices)]
+        for i, (u, v) in enumerate(edges):
+            u, v = int(u), int(v)
+            small, large = (u, v) if len(adj[u]) <= len(adj[v]) else (v, u)
+            support[i] = sum(1 for w in adj[small] if w in adj[large])
+        return support
+
+    # ------------------------------------------------------------------
+    def connected_components(self, graph: Graph, active: np.ndarray) -> tuple[np.ndarray, int]:
+        n = graph.num_vertices
+        labels = np.full(n, -1, dtype=np.int64)
+        indptr, indices = graph.indptr, graph.indices
+        count = 0
+        queue = np.empty(n, dtype=np.int64)
+        for start in np.flatnonzero(active):
+            if labels[start] != -1:
+                continue
+            labels[start] = count
+            queue[0] = start
+            head, tail = 0, 1
+            while head < tail:
+                v = queue[head]
+                head += 1
+                for w in indices[indptr[v]:indptr[v + 1]]:
+                    if active[w] and labels[w] == -1:
+                        labels[w] = count
+                        queue[tail] = w
+                        tail += 1
+            count += 1
+        return labels, count
+
+    # ------------------------------------------------------------------
+    def vertex_strengths(self, graph: Graph, arc_weights: np.ndarray) -> np.ndarray:
+        n = graph.num_vertices
+        indptr = graph.indptr
+        strength = np.zeros(n, dtype=np.float64)
+        for v in range(n):
+            strength[v] = arc_weights[indptr[v]:indptr[v + 1]].sum()
+        return strength

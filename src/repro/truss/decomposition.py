@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.csr import Graph
+from ..kernels import KernelBackend, get_backend
 
 __all__ = ["TrussDecomposition", "truss_decomposition"]
 
@@ -58,11 +59,15 @@ class TrussDecomposition:
         return f"TrussDecomposition(m={len(self.truss)}, tmax={self.tmax})"
 
 
-def truss_decomposition(graph: Graph) -> TrussDecomposition:
+def truss_decomposition(
+    graph: Graph, *, backend: str | KernelBackend | None = None
+) -> TrussDecomposition:
     """Compute the truss number of every edge by support peeling.
 
-    O(m^1.5) for the support computation plus near-linear peeling with a
-    bucket queue over supports.
+    O(m^1.5) for the support computation — the dominant cost, delegated to
+    the selected kernel backend's :meth:`~repro.kernels.base.KernelBackend.
+    edge_supports` — plus near-linear peeling with a bucket queue over
+    supports.
     """
     edges = graph.edge_array()
     m = len(edges)
@@ -80,12 +85,8 @@ def truss_decomposition(graph: Graph) -> TrussDecomposition:
     # Adjacency as sets for O(1) membership during peeling.
     adj = [set(map(int, graph.neighbors(v))) for v in range(n)]
 
-    # Initial supports via neighbourhood intersections.
-    support = np.zeros(m, dtype=np.int64)
-    for i, (u, v) in enumerate(edges):
-        u, v = int(u), int(v)
-        small, large = (u, v) if len(adj[u]) <= len(adj[v]) else (v, u)
-        support[i] = sum(1 for w in adj[small] if w in adj[large])
+    # Initial supports via (batched) neighbourhood intersections.
+    support = get_backend(backend).edge_supports(graph, edges)
 
     # Bucket peeling over supports.
     max_support = int(support.max()) if m else 0

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.csr import Graph
+from ..kernels import KernelBackend, get_backend
 
 __all__ = ["WeightedDecomposition", "s_core_decomposition", "arc_weights"]
 
@@ -99,11 +100,17 @@ class WeightedDecomposition:
         return self.smax * k / num_levels
 
 
-def s_core_decomposition(graph: Graph, edge_weights: np.ndarray) -> WeightedDecomposition:
+def s_core_decomposition(
+    graph: Graph,
+    edge_weights: np.ndarray,
+    *,
+    backend: str | KernelBackend | None = None,
+) -> WeightedDecomposition:
     """Peel by minimum remaining strength to get every vertex's s-core level.
 
     O(m log n) with a lazy min-heap (weights are real-valued, so the O(m)
-    bucket trick of the unweighted case does not apply).
+    bucket trick of the unweighted case does not apply).  The initial
+    strength accumulation runs on the selected kernel backend.
     """
     edge_weights = np.asarray(edge_weights, dtype=np.float64)
     if (edge_weights < 0).any():
@@ -112,9 +119,7 @@ def s_core_decomposition(graph: Graph, edge_weights: np.ndarray) -> WeightedDeco
     weights = arc_weights(graph, edge_weights) if len(edge_weights) else np.empty(0)
     indptr, indices = graph.indptr, graph.indices
 
-    strength = np.zeros(n, dtype=np.float64)
-    for v in range(n):
-        strength[v] = weights[indptr[v]:indptr[v + 1]].sum()
+    strength = get_backend(backend).vertex_strengths(graph, weights)
 
     alive = np.ones(n, dtype=bool)
     level = np.zeros(n, dtype=np.float64)

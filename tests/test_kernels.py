@@ -1,0 +1,230 @@
+"""Backend-equivalence suite for :mod:`repro.kernels`.
+
+Every kernel must return the same values under the ``python`` reference
+backend and the vectorised ``numpy`` backend — integer-for-integer for the
+combinatorial kernels, to float addition-order tolerance for weighted
+strengths.  The graph zoo covers the structures that historically break
+peeling/intersection code: random graphs, stars, clique chains, paths, and
+empty/singleton graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import core_decomposition
+from repro.core.naive import coreness_naive
+from repro.errors import UnknownBackendError
+from repro.graph import Graph, connected_components
+from repro.kernels import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    NumpyBackend,
+    PythonBackend,
+    available_backends,
+    get_backend,
+)
+from repro.weighted.decomposition import arc_weights
+
+from conftest import random_graph
+
+PY = get_backend("python")
+NP = get_backend("numpy")
+
+
+def clique_chain(num_cliques: int, size: int) -> Graph:
+    """Cliques of ``size`` vertices, consecutive cliques bridged by an edge."""
+    edges = []
+    for c in range(num_cliques):
+        base = c * size
+        edges.extend(
+            (base + i, base + j) for i in range(size) for j in range(i + 1, size)
+        )
+        if c:
+            edges.append((base - 1, base))
+    return Graph.from_edges(edges)
+
+
+def graph_zoo() -> list[tuple[str, Graph]]:
+    zoo = [
+        ("empty", Graph.empty(0)),
+        ("singleton", Graph.empty(1)),
+        ("isolated", Graph.empty(7)),
+        ("single-edge", Graph.from_edges([(0, 1)])),
+        ("path", Graph.from_edges([(i, i + 1) for i in range(40)])),
+        ("star", Graph.from_edges([(0, i) for i in range(1, 24)])),
+        ("clique-chain", clique_chain(4, 6)),
+        ("two-cliques-isolated", clique_chain(2, 5)),
+    ]
+    for seed in range(6):
+        zoo.append((f"random-{seed}", random_graph(20 + seed * 13, 30 + seed * 40, seed)))
+    return zoo
+
+
+ZOO = graph_zoo()
+zoo_case = pytest.mark.parametrize(
+    "graph", [g for _, g in ZOO], ids=[name for name, _ in ZOO]
+)
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert set(available_backends()) >= {"python", "numpy"}
+
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert DEFAULT_BACKEND == "numpy"
+        assert isinstance(get_backend(), NumpyBackend)
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert isinstance(get_backend(), PythonBackend)
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+
+    def test_instance_passthrough(self):
+        backend = NumpyBackend()
+        assert get_backend(backend) is backend
+
+    def test_names_are_case_insensitive(self):
+        assert isinstance(get_backend("NumPy"), NumpyBackend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(UnknownBackendError):
+            get_backend("cuda")
+
+    def test_unknown_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "nope")
+        with pytest.raises(UnknownBackendError):
+            get_backend()
+
+
+class TestPeelEquivalence:
+    @zoo_case
+    def test_coreness_identical(self, graph):
+        assert np.array_equal(PY.peel_coreness(graph), NP.peel_coreness(graph))
+
+    @zoo_case
+    def test_coreness_matches_naive_oracle(self, graph):
+        assert NP.peel_coreness(graph).tolist() == coreness_naive(graph).tolist()
+
+    @zoo_case
+    def test_peel_exact_shared(self, graph):
+        c1, p1 = PY.peel_exact(graph)
+        c2, p2 = NP.peel_exact(graph)
+        assert np.array_equal(c1, c2)
+        assert np.array_equal(p1, p2)
+
+    @zoo_case
+    def test_core_decomposition_backend_argument(self, graph):
+        fast = core_decomposition(graph, backend="numpy")
+        slow = core_decomposition(graph, backend="python")
+        assert np.array_equal(fast.coreness, slow.coreness)
+        assert np.array_equal(fast.order, slow.order)
+        assert np.array_equal(fast.shell_start, slow.shell_start)
+        # Lazy under numpy, eager under python — but the same sequence.
+        assert np.array_equal(fast.peel_order, slow.peel_order)
+
+
+class TestTriangleEquivalence:
+    @zoo_case
+    def test_counts_identical(self, graph):
+        assert PY.count_triangles(graph) == NP.count_triangles(graph)
+
+    @zoo_case
+    def test_per_vertex_identical(self, graph):
+        assert np.array_equal(
+            PY.triangles_per_vertex(graph), NP.triangles_per_vertex(graph)
+        )
+
+    @zoo_case
+    def test_per_vertex_sums_to_three_per_triangle(self, graph):
+        assert NP.triangles_per_vertex(graph).sum() == 3 * NP.count_triangles(graph)
+
+    @zoo_case
+    def test_edge_supports_identical(self, graph):
+        edges = graph.edge_array()
+        assert np.array_equal(
+            PY.edge_supports(graph, edges), NP.edge_supports(graph, edges)
+        )
+
+    @zoo_case
+    def test_edge_supports_sum_to_three_per_triangle(self, graph):
+        edges = graph.edge_array()
+        assert NP.edge_supports(graph, edges).sum() == 3 * NP.count_triangles(graph)
+
+
+class TestComponentEquivalence:
+    @zoo_case
+    def test_full_graph_labels_identical(self, graph):
+        n = graph.num_vertices
+        active = np.ones(n, dtype=bool)
+        labels_py, count_py = PY.connected_components(graph, active)
+        labels_np, count_np = NP.connected_components(graph, active)
+        assert count_py == count_np
+        assert np.array_equal(labels_py, labels_np)
+
+    @zoo_case
+    def test_subset_labels_identical(self, graph):
+        n = graph.num_vertices
+        rng = np.random.default_rng(n)
+        for trial in range(3):
+            active = rng.random(n) < 0.6 if n else np.zeros(0, dtype=bool)
+            labels_py, count_py = PY.connected_components(graph, active)
+            labels_np, count_np = NP.connected_components(graph, active)
+            assert count_py == count_np
+            assert np.array_equal(labels_py, labels_np)
+
+    def test_views_entry_point_dispatches(self, ):
+        g = clique_chain(3, 4)
+        labels_py, count_py = connected_components(g, backend="python")
+        labels_np, count_np = connected_components(g, backend="numpy")
+        assert count_py == count_np
+        assert np.array_equal(labels_py, labels_np)
+
+
+class TestStrengthEquivalence:
+    @zoo_case
+    def test_strengths_close(self, graph):
+        m = graph.num_edges
+        if m == 0:
+            weights = np.empty(0, dtype=np.float64)
+            arcs = np.empty(0, dtype=np.float64)
+        else:
+            weights = np.random.default_rng(m).random(m)
+            arcs = arc_weights(graph, weights)
+        np.testing.assert_allclose(
+            PY.vertex_strengths(graph, arcs),
+            NP.vertex_strengths(graph, arcs),
+            atol=1e-12,
+        )
+
+    @zoo_case
+    def test_integer_weights_exact(self, graph):
+        m = graph.num_edges
+        weights = np.random.default_rng(m).integers(1, 10, m).astype(np.float64)
+        arcs = arc_weights(graph, weights) if m else np.empty(0, dtype=np.float64)
+        assert np.array_equal(
+            PY.vertex_strengths(graph, arcs), NP.vertex_strengths(graph, arcs)
+        )
+
+
+class TestLazyPeelOrder:
+    def test_numpy_backend_defers_peel_order(self):
+        g = clique_chain(3, 5)
+        decomp = core_decomposition(g, backend="numpy")
+        assert decomp._peel_order is None
+        peel = decomp.peel_order
+        assert decomp._peel_order is not None
+        # Cached and read-only after first access.
+        assert decomp.peel_order is peel
+        with pytest.raises(ValueError):
+            peel[0] = 1
+
+    def test_python_backend_is_eager(self):
+        g = clique_chain(3, 5)
+        decomp = core_decomposition(g, backend="python")
+        assert decomp._peel_order is not None
