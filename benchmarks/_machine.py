@@ -1,0 +1,26 @@
+"""Shared machine/environment metadata for the ``BENCH_*.json`` reports.
+
+Benchmark numbers are only comparable when the machine, python and backend
+that produced them are recorded next to them; every benchmark script embeds
+this block under the ``"metadata"`` key.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+
+import numpy as np
+
+
+def machine_metadata(backend_name: str) -> dict:
+    """Environment facts that make cross-machine trajectory comparisons sane."""
+    return {
+        "backend": backend_name,
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy_version": np.__version__,
+        "argv": sys.argv[1:],
+    }

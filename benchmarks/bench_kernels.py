@@ -11,7 +11,8 @@ row per ``(kernel, backend, dataset)``:
      "seconds": ...}
 
 plus a ``speedups`` section recording ``python_seconds / numpy_seconds`` per
-kernel and dataset.  This file seeds the repo's performance trajectory: the
+kernel and dataset, and a ``metadata`` block (backend, python version,
+platform) so numbers from different machines stay interpretable.  This file seeds the repo's performance trajectory: the
 acceptance bar is a >= 5x speedup on ``core_decomposition`` for the largest
 dataset.
 
@@ -32,6 +33,7 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+from _machine import machine_metadata
 from repro.generators.random_graphs import powerlaw_chung_lu
 from repro.generators.rmat import rmat_graph
 from repro.generators.smallworld import watts_strogatz
@@ -133,6 +135,7 @@ def main(argv: list[str] | None = None) -> int:
     report = run_benchmarks(names, repeats, backends=("python", "numpy"))
 
     report["output"] = {"quick": args.quick, "repeats": repeats}
+    report["metadata"] = machine_metadata(get_backend().name)
     args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {args.output}")
 

@@ -54,6 +54,7 @@ from .core import (
 )
 from .community import label_propagation, louvain, partition_modularity
 from .errors import ReproError
+from .index import BestKIndex
 from .generators import load_dataset
 from .graph import Graph, GraphBuilder, load_edge_list, save_edge_list
 from .truss import best_ktruss_set, truss_decomposition
@@ -64,6 +65,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BestCoreResult",
+    "BestKIndex",
     "BestKResult",
     "CoreDecomposition",
     "CoreForest",

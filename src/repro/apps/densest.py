@@ -63,22 +63,27 @@ def _avg_degree(graph: Graph, vertices: np.ndarray) -> float:
     return 2.0 * m_s / n_s if n_s else 0.0
 
 
-def opt_d(graph: Graph) -> DensestResult:
-    """The paper's Opt-D: best single k-core by average degree."""
-    best = best_single_kcore(graph, "average_degree")
+def opt_d(graph: Graph, *, index=None) -> DensestResult:
+    """The paper's Opt-D: best single k-core by average degree.
+
+    Passing a :class:`~repro.index.BestKIndex` as ``index`` reuses its
+    cached decomposition, ordering and forest.
+    """
+    best = best_single_kcore(graph, "average_degree", index=index)
     return DensestResult(best.vertices, best.score, "Opt-D")
 
 
-def core_app(graph: Graph) -> DensestResult:
+def core_app(graph: Graph, *, index=None) -> DensestResult:
     """CoreApp-style approximate densest subgraph via core decomposition.
 
     Following Fang et al.'s core-based localisation: the densest subgraph
     is contained in the ``ceil(rho*)``-core, and the kmax-core is already a
     1/2-approximation.  The algorithm scans the k-core sets from ``kmax``
     down to the 1/2-approximation floor ``ceil(rho_best)``, keeps the
-    densest, and refines to the densest connected component.
+    densest, and refines to the densest connected component.  A shared
+    :class:`~repro.index.BestKIndex` supplies the decomposition when given.
     """
-    decomp = core_decomposition(graph)
+    decomp = index.decomposition if index is not None else core_decomposition(graph)
     kmax = decomp.kmax
     if graph.num_edges == 0:
         return DensestResult(np.arange(min(1, graph.num_vertices)), 0.0, "CoreApp")

@@ -36,6 +36,9 @@ __all__ = [
     "kcore_scores",
     "baseline_kcore_scores",
     "best_single_kcore",
+    "forest_base_totals",
+    "forest_triangle_totals",
+    "scores_from_forest_totals",
 ]
 
 
@@ -114,48 +117,67 @@ def _node_shell_deltas(
     return twice_in, out, num
 
 
-def kcore_scores(
-    graph: Graph,
-    metric: str | Metric,
-    *,
-    ordered: OrderedGraph | None = None,
-    forest: CoreForest | None = None,
-) -> KCoreScores:
-    """Score every connected k-core with Algorithm 5.
+def _aggregate_children(forest: CoreForest, *arrays: np.ndarray) -> None:
+    """Add each node's children totals into the node, in place.
 
-    Nodes are stored in descending coreness order, so children (strictly
-    deeper cores) always precede their parent; one forward scan aggregates
-    child totals into each node and adds the node's own shell deltas.
-    O(n) scoring — O(m^1.5) with triangle metrics — after the O(m) index
-    and forest builds.
+    Children precede parents (descending-k storage): one forward scan.
     """
-    metric = get_metric(metric)
-    if ordered is None:
-        ordered = order_vertices(graph)
-    if forest is None:
-        forest = build_core_forest(graph, ordered.decomposition)
-    totals = graph_totals(graph)
-
-    twice_in, out, num = _node_shell_deltas(ordered, forest)
-    tri = trip = None
-    if metric.requires_triangles:
-        tri_charges = triangles_by_min_rank_vertex(ordered)
-        tri = np.zeros(forest.num_nodes, dtype=np.int64)
-        for node in forest.nodes:
-            if len(node.vertices):
-                tri[node.node_id] = int(tri_charges[node.vertices].sum())
-        trip = triplet_group_deltas(ordered, [node.vertices for node in forest.nodes])
-
-    # Children precede parents (descending-k storage): one forward scan.
     for node in forest.nodes:
         for child in node.children:
-            twice_in[node.node_id] += twice_in[child]
-            out[node.node_id] += out[child]
-            num[node.node_id] += num[child]
-            if tri is not None:
-                tri[node.node_id] += tri[child]
-                trip[node.node_id] += trip[child]
+            for arr in arrays:
+                arr[node.node_id] += arr[child]
 
+
+def forest_base_totals(
+    ordered: OrderedGraph, forest: CoreForest
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Aggregated ``(2*in, out, num)`` totals of every forest node's core."""
+    twice_in, out, num = _node_shell_deltas(ordered, forest)
+    _aggregate_children(forest, twice_in, out, num)
+    return twice_in, out, num
+
+
+def forest_triangle_totals(
+    ordered: OrderedGraph,
+    forest: CoreForest,
+    *,
+    backend=None,
+    charges: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Aggregated triangle/triplet totals of every forest node's core.
+
+    A precomputed per-vertex ``charges`` array (e.g. cached on a
+    :class:`~repro.index.BestKIndex`) skips the O(m^1.5) pass.
+    """
+    if charges is None:
+        charges = triangles_by_min_rank_vertex(ordered, backend=backend)
+    tri = np.zeros(forest.num_nodes, dtype=np.int64)
+    for node in forest.nodes:
+        if len(node.vertices):
+            tri[node.node_id] = int(charges[node.vertices].sum())
+    trip = triplet_group_deltas(
+        ordered, [node.vertices for node in forest.nodes], backend=backend
+    )
+    _aggregate_children(forest, tri, trip)
+    return tri, trip
+
+
+def scores_from_forest_totals(
+    metric: Metric,
+    totals: GraphTotals,
+    forest: CoreForest,
+    twice_in: np.ndarray,
+    out: np.ndarray,
+    num: np.ndarray,
+    tri: np.ndarray | None = None,
+    trip: np.ndarray | None = None,
+) -> KCoreScores:
+    """Assemble :class:`KCoreScores` from precomputed per-node totals.
+
+    The O(#nodes) scoring tail of Algorithm 5, split out so the shared
+    :class:`~repro.index.BestKIndex` can reuse one aggregation across every
+    metric.
+    """
     values = []
     scores = np.full(forest.num_nodes, np.nan)
     for node in forest.nodes:
@@ -170,6 +192,40 @@ def kcore_scores(
         values.append(pv)
         scores[i] = metric.score(pv, totals)
     return KCoreScores(metric, totals, forest, scores, tuple(values))
+
+
+def kcore_scores(
+    graph: Graph,
+    metric: str | Metric,
+    *,
+    ordered: OrderedGraph | None = None,
+    forest: CoreForest | None = None,
+    index=None,
+) -> KCoreScores:
+    """Score every connected k-core with Algorithm 5.
+
+    Nodes are stored in descending coreness order, so children (strictly
+    deeper cores) always precede their parent; one forward scan aggregates
+    child totals into each node and adds the node's own shell deltas.
+    O(n) scoring — O(m^1.5) with triangle metrics — after the O(m) index
+    and forest builds.  Passing a :class:`~repro.index.BestKIndex` as
+    ``index`` (takes precedence over ``ordered``/``forest``) fetches and
+    memoizes every artifact on the index; results are identical.
+    """
+    metric = get_metric(metric)
+    if index is not None:
+        return index.core_scores(metric)
+    if ordered is None:
+        ordered = order_vertices(graph)
+    if forest is None:
+        forest = build_core_forest(graph, ordered.decomposition)
+    totals = graph_totals(graph)
+
+    twice_in, out, num = forest_base_totals(ordered, forest)
+    tri = trip = None
+    if metric.requires_triangles:
+        tri, trip = forest_triangle_totals(ordered, forest)
+    return scores_from_forest_totals(metric, totals, forest, twice_in, out, num, tri, trip)
 
 
 def baseline_kcore_scores(
@@ -204,22 +260,32 @@ def best_single_kcore(
     *,
     ordered: OrderedGraph | None = None,
     forest: CoreForest | None = None,
+    index=None,
     use_baseline: bool = False,
 ) -> BestCoreResult:
     """Find the best single connected k-core (Problem 2).
 
     Set ``use_baseline=True`` to route through the from-scratch baseline
-    (identical results, used for benchmarking).
+    (identical results, used for benchmarking).  Passing a
+    :class:`~repro.index.BestKIndex` as ``index`` reuses its cached
+    artifacts.
     """
     metric = get_metric(metric)
-    if ordered is None:
-        ordered = order_vertices(graph)
-    if forest is None:
-        forest = build_core_forest(graph, ordered.decomposition)
-    if use_baseline:
-        scored = baseline_kcore_scores(graph, metric, forest=forest)
+    if index is not None:
+        forest = index.forest
+        if use_baseline:
+            scored = baseline_kcore_scores(graph, metric, forest=forest)
+        else:
+            scored = index.core_scores(metric)
     else:
-        scored = kcore_scores(graph, metric, ordered=ordered, forest=forest)
+        if ordered is None:
+            ordered = order_vertices(graph)
+        if forest is None:
+            forest = build_core_forest(graph, ordered.decomposition)
+        if use_baseline:
+            scored = baseline_kcore_scores(graph, metric, forest=forest)
+        else:
+            scored = kcore_scores(graph, metric, ordered=ordered, forest=forest)
     node_id = scored.best_node()
     node = forest.nodes[node_id]
     return BestCoreResult(

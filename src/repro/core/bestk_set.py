@@ -44,6 +44,8 @@ __all__ = [
     "best_kcore_set",
     "shell_accumulate",
     "triangle_triplet_by_shell",
+    "cumulate_from_top",
+    "scores_from_shell_totals",
 ]
 
 
@@ -133,7 +135,17 @@ def shell_accumulate(ordered: OrderedGraph) -> tuple[np.ndarray, np.ndarray, np.
     return twice_in_k, out_k, num_k
 
 
-def triangle_triplet_by_shell(ordered: OrderedGraph) -> tuple[np.ndarray, np.ndarray]:
+def cumulate_from_top(new: np.ndarray) -> np.ndarray:
+    """Top-down cumulation of per-shell increments into per-``C_k`` totals.
+
+    Appends the zero entry for the empty set ``C_{kmax+1}``.
+    """
+    return np.concatenate([np.cumsum(new[::-1])[::-1], [0]])
+
+
+def triangle_triplet_by_shell(
+    ordered: OrderedGraph, *, backend=None, charges: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Algorithm 3's per-shell increments of triangles and triplets.
 
     Returns ``(tri_new, trip_new)``, arrays of length ``kmax + 1`` where
@@ -143,14 +155,18 @@ def triangle_triplet_by_shell(ordered: OrderedGraph) -> tuple[np.ndarray, np.nda
 
     Triangles are charged to the shell of their minimum-rank corner,
     triplets to the shell at which their centre gains the new legs; the
-    per-vertex/per-group charging lives in :mod:`repro.core.triangles` and
-    is shared with Algorithm 5.
+    per-vertex/per-group charging lives in the kernel registry (see
+    :mod:`repro.core.triangles`) and is shared with Algorithm 5.  A
+    precomputed ``charges`` array (e.g. cached on a
+    :class:`~repro.index.BestKIndex`) skips the O(m^1.5) pass.
     """
     decomp = ordered.decomposition
     kmax = decomp.kmax
-    tri_charges = triangles_by_min_rank_vertex(ordered)
+    tri_charges = charges
+    if tri_charges is None:
+        tri_charges = triangles_by_min_rank_vertex(ordered, backend=backend)
     shells = [decomp.shell(k) for k in range(kmax, -1, -1)]
-    trip_deltas = triplet_group_deltas(ordered, shells)
+    trip_deltas = triplet_group_deltas(ordered, shells, backend=backend)
 
     tri_new = np.zeros(kmax + 1, dtype=np.int64)
     trip_new = np.zeros(kmax + 1, dtype=np.int64)
@@ -166,39 +182,22 @@ def triangle_triplet_by_shell(ordered: OrderedGraph) -> tuple[np.ndarray, np.nda
 # Public scoring entry points
 # ----------------------------------------------------------------------
 
-def kcore_set_scores(
-    graph: Graph,
-    metric: str | Metric,
-    *,
-    ordered: OrderedGraph | None = None,
+def scores_from_shell_totals(
+    metric: Metric,
+    totals: GraphTotals,
+    twice_in_k: np.ndarray,
+    out_k: np.ndarray,
+    num_k: np.ndarray,
+    tri_k: np.ndarray | None = None,
+    trip_k: np.ndarray | None = None,
 ) -> KCoreSetScores:
-    """Score every k-core set with the optimal algorithm (Alg. 2 / Alg. 3).
+    """Assemble :class:`KCoreSetScores` from precomputed per-``C_k`` totals.
 
-    Parameters
-    ----------
-    graph:
-        Host graph.
-    metric:
-        Metric name, abbreviation, or :class:`Metric` instance.
-    ordered:
-        A prebuilt Algorithm 1 index; computed on the fly when omitted.
-        Reusing one index across metrics is exactly the paper's "index built
-        once, scored many times" scenario.
+    The O(kmax) scoring tail of Algorithms 2/3, split out so the shared
+    :class:`~repro.index.BestKIndex` can reuse one set of accumulated
+    totals across every metric.
     """
-    metric = get_metric(metric)
-    if ordered is None:
-        ordered = order_vertices(graph)
-    decomp = ordered.decomposition
-    kmax = decomp.kmax
-    totals = graph_totals(graph)
-
-    twice_in_k, out_k, num_k = shell_accumulate(ordered)
-    tri_k = trip_k = None
-    if metric.requires_triangles:
-        tri_new, trip_new = triangle_triplet_by_shell(ordered)
-        tri_k = np.concatenate([np.cumsum(tri_new[::-1])[::-1], [0]])
-        trip_k = np.concatenate([np.cumsum(trip_new[::-1])[::-1], [0]])
-
+    kmax = len(num_k) - 2
     values = []
     scores = np.full(kmax + 1, np.nan)
     for k in range(kmax + 1):
@@ -212,6 +211,47 @@ def kcore_set_scores(
         values.append(pv)
         scores[k] = metric.score(pv, totals)
     return KCoreSetScores(metric, totals, scores, tuple(values))
+
+
+def kcore_set_scores(
+    graph: Graph,
+    metric: str | Metric,
+    *,
+    ordered: OrderedGraph | None = None,
+    index=None,
+) -> KCoreSetScores:
+    """Score every k-core set with the optimal algorithm (Alg. 2 / Alg. 3).
+
+    Parameters
+    ----------
+    graph:
+        Host graph.
+    metric:
+        Metric name, abbreviation, or :class:`Metric` instance.
+    ordered:
+        A prebuilt Algorithm 1 index; computed on the fly when omitted.
+        Reusing one index across metrics is exactly the paper's "index built
+        once, scored many times" scenario.
+    index:
+        A :class:`~repro.index.BestKIndex`; when given it takes precedence
+        over ``ordered`` and every expensive artifact (decomposition,
+        ordering, triangle charges, accumulated totals) is fetched from —
+        and memoized on — the index.  Results are identical.
+    """
+    metric = get_metric(metric)
+    if index is not None:
+        return index.set_scores(metric)
+    if ordered is None:
+        ordered = order_vertices(graph)
+    totals = graph_totals(graph)
+
+    twice_in_k, out_k, num_k = shell_accumulate(ordered)
+    tri_k = trip_k = None
+    if metric.requires_triangles:
+        tri_new, trip_new = triangle_triplet_by_shell(ordered)
+        tri_k = cumulate_from_top(tri_new)
+        trip_k = cumulate_from_top(trip_new)
+    return scores_from_shell_totals(metric, totals, twice_in_k, out_k, num_k, tri_k, trip_k)
 
 
 def baseline_kcore_set_scores(
@@ -247,21 +287,30 @@ def best_kcore_set(
     metric: str | Metric,
     *,
     ordered: OrderedGraph | None = None,
+    index=None,
     use_baseline: bool = False,
 ) -> BestKResult:
     """Find ``k*`` such that ``C_{k*}`` maximises ``metric`` (Problem 1).
 
     Ties are broken towards the largest k, matching the paper's Table IV.
     Set ``use_baseline=True`` to route through the from-scratch baseline
-    (useful for benchmarking; identical results).
+    (useful for benchmarking; identical results).  Passing a
+    :class:`~repro.index.BestKIndex` as ``index`` reuses its cached
+    artifacts.
     """
     metric = get_metric(metric)
-    if ordered is None:
-        ordered = order_vertices(graph)
+    if index is not None:
+        decomp = index.decomposition
+    else:
+        if ordered is None:
+            ordered = order_vertices(graph)
+        decomp = ordered.decomposition
     if use_baseline:
-        scores = baseline_kcore_set_scores(graph, metric, decomposition=ordered.decomposition)
+        scores = baseline_kcore_set_scores(graph, metric, decomposition=decomp)
+    elif index is not None:
+        scores = index.set_scores(metric)
     else:
         scores = kcore_set_scores(graph, metric, ordered=ordered)
     k = scores.best_k()
-    members = np.sort(ordered.decomposition.kcore_set_vertices(k))
+    members = np.sort(decomp.kcore_set_vertices(k))
     return BestKResult(metric.name, k, float(scores.scores[k]), scores, members)

@@ -18,8 +18,6 @@ import numpy as np
 
 from ..graph.csr import Graph
 from ..kernels import KernelBackend, get_backend
-from ..kernels.common import concat_ranges as _concat_ranges
-from ..kernels.common import rank_forward_adjacency as _rank_forward_adjacency
 
 __all__ = [
     "count_triangles",
@@ -66,11 +64,15 @@ def triangles_per_vertex(
 #
 # Both algorithms charge every triangle to its minimum-rank corner and every
 # triplet to its centre, then aggregate the charges by shell (best k-core
-# set) or by forest node (best single k-core).  The two helpers below
-# compute the per-vertex / per-group charges once; the callers only differ
-# in how they group vertices.
+# set) or by forest node (best single k-core).  The per-vertex / per-group
+# charging kernels live in the backend registry (the ``python`` backend is
+# the scalar per-neighbour loop, the ``numpy`` backend one batched
+# searchsorted pass over all higher-rank arc pairs); the callers only
+# differ in how they group vertices.
 
-def triangles_by_min_rank_vertex(ordered) -> np.ndarray:
+def triangles_by_min_rank_vertex(
+    ordered, *, backend: str | KernelBackend | None = None
+) -> np.ndarray:
     """Per-vertex triangle charges under the rank order (Algorithm 3, lines 7-12).
 
     ``result[v]`` is the number of triangles whose minimum-rank corner is
@@ -82,38 +84,12 @@ def triangles_by_min_rank_vertex(ordered) -> np.ndarray:
     O(m^1.5) total: every higher-rank neighbourhood has size O(sqrt(m))
     under a degeneracy-compatible order (proof in paper Section III-D).
     """
-    n = ordered.graph.num_vertices
-    indptr, indices = ordered.indptr, ordered.indices
-    rank = ordered.rank
-    hr_start = (indptr[:-1] + ordered.high).tolist()
-    hr_stop = indptr[1:].tolist()
-    nbr_rank = rank[indices]
-    charges = np.zeros(n, dtype=np.int64)
-    for v in range(n):
-        a, b = hr_start[v], hr_stop[v]
-        if b - a < 2:
-            continue
-        ranks_v = nbr_rank[a:b]
-        count = 0
-        for u in indices[a:b].tolist():
-            ua, ub = hr_start[u], hr_stop[u]
-            if ua == ub:
-                continue
-            ranks_u = nbr_rank[ua:ub]
-            # Intersect the smaller list into the larger (the paper's
-            # degree-based swap) via binary search on sorted ranks.
-            if len(ranks_v) <= len(ranks_u):
-                needle, hay = ranks_v, ranks_u
-            else:
-                needle, hay = ranks_u, ranks_v
-            pos = np.searchsorted(hay, needle)
-            valid = pos < len(hay)
-            count += int((hay[pos[valid]] == needle[valid]).sum())
-        charges[v] = count
-    return charges
+    return get_backend(backend).triangle_charges(ordered)
 
 
-def triplet_group_deltas(ordered, groups: list[np.ndarray]) -> np.ndarray:
+def triplet_group_deltas(
+    ordered, groups: list[np.ndarray], *, backend: str | KernelBackend | None = None
+) -> np.ndarray:
     """Incremental triplet counts per vertex group (Algorithm 3, lines 13-22).
 
     ``groups`` must be ordered by non-increasing coreness, and groups of
@@ -127,27 +103,4 @@ def triplet_group_deltas(ordered, groups: list[np.ndarray]) -> np.ndarray:
     * centres already seen (the group's higher-coreness neighbours): counted
       through the frontier arrays ``f>=`` / ``f>``.
     """
-    n = ordered.graph.num_vertices
-    indptr, indices = ordered.indptr, ordered.indices
-    deg = np.diff(indptr)
-    n_ge = deg - ordered.same
-    f_ge = np.zeros(n, dtype=np.int64)
-    deltas = np.zeros(len(groups), dtype=np.int64)
-    for i, members in enumerate(groups):
-        if len(members) == 0:
-            continue
-        members = np.asarray(members, dtype=np.int64)
-        ge = n_ge[members]
-        delta = int((ge * (ge - 1) // 2).sum())
-        # Frontier: neighbours of the group with strictly greater coreness.
-        gt_starts = indptr[members] + ordered.plus[members]
-        gt_stops = indptr[members + 1]
-        frontier = np.unique(_concat_ranges(indices, gt_starts, gt_stops))
-        f_gt_vals = f_ge[frontier].copy()
-        all_nbrs = _concat_ranges(indices, indptr[members], indptr[members + 1])
-        np.add.at(f_ge, all_nbrs, 1)
-        eq = f_ge[frontier] - f_gt_vals
-        gt = f_gt_vals
-        delta += int((eq * (eq - 1) // 2 + gt * eq).sum())
-        deltas[i] = delta
-    return deltas
+    return get_backend(backend).triplet_group_deltas(ordered, groups)

@@ -1,0 +1,9 @@
+"""Shared best-k index: build expensive artifacts once, answer everything.
+
+See :class:`BestKIndex` for the lazy, memoizing index that serves both
+best-k problems for every metric from one set of artifacts.
+"""
+
+from .bestk_index import BestKIndex
+
+__all__ = ["BestKIndex"]

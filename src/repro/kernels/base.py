@@ -69,6 +69,29 @@ class KernelBackend:
         """
         raise NotImplementedError
 
+    def triangle_charges(self, ordered) -> np.ndarray:
+        """Per-vertex triangle charges under a rank order (Algorithm 3).
+
+        ``ordered`` is any rank-ordered adjacency with position tags — a
+        :class:`repro.core.ordering.OrderedGraph` or
+        :class:`repro.truss.levels.LevelOrdering`; the kernel reads its
+        ``graph``, ``indptr``, ``indices``, ``rank`` and ``high`` arrays.
+        ``result[v]`` is the number of triangles whose minimum-rank corner
+        is ``v``; O(m^1.5) total work under a degeneracy-compatible order.
+        """
+        raise NotImplementedError
+
+    def triplet_group_deltas(self, ordered, groups: list[np.ndarray]) -> np.ndarray:
+        """Incremental triplet counts per vertex group (Algorithm 3).
+
+        ``groups`` must be ordered by non-increasing coreness/level, with
+        equal-level groups vertex-disjoint and mutually non-adjacent (true
+        for shells and core-forest nodes alike).  ``result[i]`` is the
+        number of triplets that appear when group ``i``'s vertices join the
+        already-seen higher-level region.
+        """
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     # Connectivity
     # ------------------------------------------------------------------

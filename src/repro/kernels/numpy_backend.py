@@ -128,6 +128,87 @@ class NumpyBackend(KernelBackend):
         return support
 
     # ------------------------------------------------------------------
+    def triangle_charges(self, ordered) -> np.ndarray:
+        n = ordered.graph.num_vertices
+        charges = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return charges
+        indptr, indices = ordered.indptr, ordered.indices
+        rank = ordered.rank
+        # Higher-rank suffix of every (rank-sorted) adjacency slice: each
+        # undirected edge contributes exactly one entry, owned by its
+        # lower-rank endpoint.
+        hr_start = indptr[:-1] + ordered.high
+        hr_len = indptr[1:] - hr_start
+        hr_idx = concat_ranges(indices, hr_start, hr_start + hr_len)
+        if hr_idx.size == 0:
+            return charges
+        hr_rank = rank[hr_idx]
+        hr_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(hr_len, out=hr_ptr[1:])
+        owners = np.repeat(np.arange(n, dtype=np.int64), hr_len)
+        # One globally sorted haystack: suffixes are rank-sorted per owner
+        # and owners ascend, so ``owner * n + rank`` needs no re-sort.
+        hay = owners * n + hr_rank
+        # For every arc v -> u (u higher-rank than v), intersect the two
+        # suffixes H(v) and H(u); every match is one triangle whose
+        # minimum-rank corner is v.  Probe from the smaller suffix into the
+        # larger (the scalar reference's swap): on skewed graphs this cuts
+        # the needle volume from sum |H(v)| to sum min(|H(v)|, |H(u)|).
+        swap = hr_len[hr_idx] < hr_len[owners]
+        small = np.where(swap, hr_idx, owners)
+        big = np.where(swap, owners, hr_idx)
+        probe_len = hr_len[small]
+        # Sentinel pad: out-of-range searchsorted positions hit the -1 slot,
+        # saving a clamp-and-revalidate pass over the needles.
+        hay_pad = np.concatenate([hay, [-1]])
+        for lo, hi in _chunk_edges(probe_len):
+            lens = probe_len[lo:hi]
+            starts = hr_ptr[small[lo:hi]]
+            needles = concat_ranges(hr_rank, starts, starts + lens)
+            needles += np.repeat(big[lo:hi] * n, lens)
+            match = hay_pad[np.searchsorted(hay, needles)] == needles
+            # Per-arc hit counts via prefix sums (cheaper than repeating the
+            # owner ids across every needle and masking).
+            cum = np.concatenate([[0], np.cumsum(match)])
+            offsets = np.concatenate([[0], np.cumsum(lens)])
+            hits = cum[offsets[1:]] - cum[offsets[:-1]]
+            charges += np.bincount(owners[lo:hi], weights=hits, minlength=n).astype(np.int64)
+        return charges
+
+    def triplet_group_deltas(self, ordered, groups: list[np.ndarray]) -> np.ndarray:
+        n = ordered.graph.num_vertices
+        indptr, indices = ordered.indptr, ordered.indices
+        deg = indptr[1:] - indptr[:-1]
+        n_ge = deg - ordered.same
+        f_ge = np.zeros(n, dtype=np.int64)
+        deltas = np.zeros(len(groups), dtype=np.int64)
+        for i, members in enumerate(groups):
+            if len(members) == 0:
+                continue
+            members = np.asarray(members, dtype=np.int64)
+            ge = n_ge[members]
+            delta = int((ge * (ge - 1) // 2).sum())
+            # Frontier: neighbours of the group with strictly greater level.
+            gt_starts = indptr[members] + ordered.plus[members]
+            gt_stops = indptr[members + 1]
+            frontier = np.unique(concat_ranges(indices, gt_starts, gt_stops))
+            f_gt_vals = f_ge[frontier].copy()
+            all_nbrs = concat_ranges(indices, indptr[members], indptr[members + 1])
+            # Same bincount/unique crossover as the peel: one counting pass
+            # applies all of this group's frontier increments at once.
+            if all_nbrs.size * 8 >= n:
+                f_ge += np.bincount(all_nbrs, minlength=n)
+            else:
+                touched, inc = np.unique(all_nbrs, return_counts=True)
+                f_ge[touched] += inc
+            eq = f_ge[frontier] - f_gt_vals
+            gt = f_gt_vals
+            delta += int((eq * (eq - 1) // 2 + gt * eq).sum())
+            deltas[i] = delta
+        return deltas
+
+    # ------------------------------------------------------------------
     def connected_components(self, graph: Graph, active: np.ndarray) -> tuple[np.ndarray, int]:
         n = graph.num_vertices
         labels = np.full(n, -1, dtype=np.int64)

@@ -88,6 +88,70 @@ class PythonBackend(KernelBackend):
         return support
 
     # ------------------------------------------------------------------
+    def triangle_charges(self, ordered) -> np.ndarray:
+        n = ordered.graph.num_vertices
+        indptr, indices = ordered.indptr, ordered.indices
+        rank = ordered.rank
+        hr_start = (indptr[:-1] + ordered.high).tolist()
+        hr_stop = indptr[1:].tolist()
+        nbr_rank = rank[indices]
+        charges = np.zeros(n, dtype=np.int64)
+        for v in range(n):
+            a, b = hr_start[v], hr_stop[v]
+            if b - a < 2:
+                continue
+            ranks_v = nbr_rank[a:b]
+            count = 0
+            for u in indices[a:b].tolist():
+                ua, ub = hr_start[u], hr_stop[u]
+                if ua == ub:
+                    continue
+                ranks_u = nbr_rank[ua:ub]
+                # Intersect the smaller list into the larger (the paper's
+                # degree-based swap) via binary search on sorted ranks.
+                if len(ranks_v) <= len(ranks_u):
+                    needle, hay = ranks_v, ranks_u
+                else:
+                    needle, hay = ranks_u, ranks_v
+                pos = np.searchsorted(hay, needle)
+                valid = pos < len(hay)
+                count += int((hay[pos[valid]] == needle[valid]).sum())
+            charges[v] = count
+        return charges
+
+    def triplet_group_deltas(self, ordered, groups: list[np.ndarray]) -> np.ndarray:
+        n = ordered.graph.num_vertices
+        indptr = ordered.indptr.tolist()
+        indices = ordered.indices.tolist()
+        same = ordered.same.tolist()
+        plus = ordered.plus.tolist()
+        f_ge = [0] * n
+        deltas = np.zeros(len(groups), dtype=np.int64)
+        for i, members in enumerate(groups):
+            members = [int(v) for v in members]
+            if not members:
+                continue
+            delta = 0
+            frontier: set[int] = set()
+            for v in members:
+                a, b = indptr[v], indptr[v + 1]
+                ge = (b - a) - same[v]
+                delta += ge * (ge - 1) // 2
+                # Frontier: neighbours with strictly greater coreness/level.
+                for j in range(a + plus[v], b):
+                    frontier.add(indices[j])
+            before = {w: f_ge[w] for w in frontier}
+            for v in members:
+                for j in range(indptr[v], indptr[v + 1]):
+                    f_ge[indices[j]] += 1
+            for w in frontier:
+                gt = before[w]
+                eq = f_ge[w] - gt
+                delta += eq * (eq - 1) // 2 + gt * eq
+            deltas[i] = delta
+        return deltas
+
+    # ------------------------------------------------------------------
     def connected_components(self, graph: Graph, active: np.ndarray) -> tuple[np.ndarray, int]:
         n = graph.num_vertices
         labels = np.full(n, -1, dtype=np.int64)

@@ -54,8 +54,17 @@ def ktruss_set_scores(
     metric: str | Metric,
     *,
     decomposition: TrussDecomposition | None = None,
+    index=None,
 ) -> LevelSetScores:
-    """Score every k-truss vertex set incrementally (optimal path)."""
+    """Score every k-truss vertex set incrementally (optimal path).
+
+    Passing a :class:`~repro.index.BestKIndex` as ``index`` (takes
+    precedence over ``decomposition``) fetches and memoizes the truss
+    decomposition, the level ordering, and the per-metric scores on the
+    index.  Results are identical.
+    """
+    if index is not None:
+        return index.truss_set_scores(metric)
     if decomposition is None:
         decomposition = truss_decomposition(graph)
     return level_set_scores(graph, decomposition.vertex_level, metric)
@@ -88,15 +97,22 @@ def best_ktruss_set(
     metric: str | Metric,
     *,
     decomposition: TrussDecomposition | None = None,
+    index=None,
 ) -> BestTrussResult:
     """Find the k maximising the metric over all k-truss sets.
 
     Ties break towards the largest k, consistent with the core variant.
+    Passing a :class:`~repro.index.BestKIndex` as ``index`` reuses its
+    cached truss artifacts.
     """
     metric = get_metric(metric)
-    if decomposition is None:
-        decomposition = truss_decomposition(graph)
-    scores = ktruss_set_scores(graph, metric, decomposition=decomposition)
+    if index is not None:
+        decomposition = index.truss_decomposition
+        scores = index.truss_set_scores(metric)
+    else:
+        if decomposition is None:
+            decomposition = truss_decomposition(graph)
+        scores = ktruss_set_scores(graph, metric, decomposition=decomposition)
     k = scores.best_k()
     members = np.flatnonzero(decomposition.vertex_level >= k)
     return BestTrussResult(metric.name, k, float(scores.scores[k]), scores, members)

@@ -102,11 +102,19 @@ def s_core_set_scores(
     metric: str | WeightedMetric,
     *,
     decomposition: WeightedDecomposition | None = None,
+    index=None,
     num_levels: int = 64,
 ) -> SCoreSetScores:
-    """Score every (quantised) s-core set incrementally."""
+    """Score every (quantised) s-core set incrementally.
+
+    Passing a :class:`~repro.index.BestKIndex` as ``index`` (takes
+    precedence over ``decomposition``) reuses the s-core decomposition
+    cached on the index for these ``edge_weights``.
+    """
     metric = get_weighted_metric(metric)
-    if decomposition is None:
+    if index is not None:
+        decomposition = index.weighted_decomposition(edge_weights)
+    elif decomposition is None:
         decomposition = s_core_decomposition(graph, edge_weights)
     levels = decomposition.integer_levels(num_levels)
     max_level = int(levels.max()) if len(levels) else 0
@@ -186,11 +194,19 @@ def best_s_core_set(
     edge_weights: np.ndarray,
     metric: str | WeightedMetric,
     *,
+    index=None,
     num_levels: int = 64,
 ) -> BestSCoreResult:
-    """Find the strength threshold whose s-core set maximises ``metric``."""
+    """Find the strength threshold whose s-core set maximises ``metric``.
+
+    Passing a :class:`~repro.index.BestKIndex` as ``index`` reuses the
+    s-core decomposition cached on the index for these ``edge_weights``.
+    """
     metric = get_weighted_metric(metric)
-    decomposition = s_core_decomposition(graph, edge_weights)
+    if index is not None:
+        decomposition = index.weighted_decomposition(edge_weights)
+    else:
+        decomposition = s_core_decomposition(graph, edge_weights)
     scores = s_core_set_scores(
         graph, edge_weights, metric, decomposition=decomposition, num_levels=num_levels
     )

@@ -13,8 +13,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import core_decomposition
+from repro.core import core_decomposition, order_vertices
 from repro.core.naive import coreness_naive
+from repro.core.triangles import count_triplets
 from repro.errors import UnknownBackendError
 from repro.graph import Graph, connected_components
 from repro.kernels import (
@@ -155,6 +156,63 @@ class TestTriangleEquivalence:
     def test_edge_supports_sum_to_three_per_triangle(self, graph):
         edges = graph.edge_array()
         assert NP.edge_supports(graph, edges).sum() == 3 * NP.count_triangles(graph)
+
+
+def _descending_shells(ordered):
+    decomp = ordered.decomposition
+    return [decomp.shell(k) for k in range(decomp.kmax, -1, -1)]
+
+
+class TestChargeKernelEquivalence:
+    """The Algorithm 3/5 charging kernels behind the shared best-k index.
+
+    The zoo already covers the ISSUE's hard cases: ``isolated`` (vertices
+    with no adjacency at all) and ``path`` (kmax = 1, so every vertex sits
+    in the bottom shells and the higher-rank suffixes are tiny).
+    """
+
+    @zoo_case
+    def test_triangle_charges_identical(self, graph):
+        ordered = order_vertices(graph)
+        assert np.array_equal(
+            PY.triangle_charges(ordered), NP.triangle_charges(ordered)
+        )
+
+    @zoo_case
+    def test_charges_sum_to_triangle_count(self, graph):
+        ordered = order_vertices(graph)
+        assert int(NP.triangle_charges(ordered).sum()) == NP.count_triangles(graph)
+
+    @zoo_case
+    def test_triplet_group_deltas_identical(self, graph):
+        ordered = order_vertices(graph)
+        shells = _descending_shells(ordered)
+        assert np.array_equal(
+            PY.triplet_group_deltas(ordered, shells),
+            NP.triplet_group_deltas(ordered, shells),
+        )
+
+    @zoo_case
+    def test_triplet_deltas_sum_to_total(self, graph):
+        # Top-down, the per-shell increments must add up to every triplet
+        # of the whole graph (C_0 is the full vertex set).
+        ordered = order_vertices(graph)
+        shells = _descending_shells(ordered)
+        assert int(NP.triplet_group_deltas(ordered, shells).sum()) == count_triplets(graph)
+
+    @zoo_case
+    def test_forest_node_groups_identical(self, graph):
+        # Same kernels, grouped by forest node instead of by shell
+        # (Algorithm 5's grouping) — also ordered by non-increasing k.
+        from repro.core import build_core_forest
+
+        ordered = order_vertices(graph)
+        forest = build_core_forest(graph, ordered.decomposition)
+        groups = [node.vertices for node in forest.nodes]
+        assert np.array_equal(
+            PY.triplet_group_deltas(ordered, groups),
+            NP.triplet_group_deltas(ordered, groups),
+        )
 
 
 class TestComponentEquivalence:
