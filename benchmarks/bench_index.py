@@ -14,6 +14,13 @@ Both sides produce bit-identical answers (checked).  The report also times
 the triangle-charging kernel under the scalar ``python`` backend vs the
 vectorised ``numpy`` backend (bit-identity checked there too).
 
+Since the hierarchy-engine refactor the same cold-vs-warm comparison runs
+per registered family (``core``, ``truss``, ``weighted``; ``ecc`` is
+excluded because its recursive min-cut decomposition is cubic-ish and
+would dominate the report): each family's batch metrics are answered by
+fresh per-metric indexes and by one shared index, so BENCH_index.json
+tracks the warm-index speedup for every family, not just k-core.
+
 Results are written as JSON::
 
     {"datasets": [{"dataset": ..., "cold_seconds": ..., "warm_seconds": ...,
@@ -47,6 +54,7 @@ import numpy as np
 
 from _machine import machine_metadata
 from repro.core import PAPER_METRICS, best_kcore_set, best_single_kcore
+from repro.engine import get_family
 from repro.index import BestKIndex
 from repro.generators.random_graphs import powerlaw_chung_lu
 from repro.generators.rmat import rmat_graph
@@ -76,6 +84,58 @@ def _phases(index: BestKIndex) -> dict[str, float]:
 def _merge_phases(total: dict[str, float], one: dict[str, float]) -> None:
     for key, value in one.items():
         total[key] = total.get(key, 0.0) + value
+
+
+#: Families covered by the per-family cold/warm section.  ``ecc`` is
+#: excluded: its recursive min-cut decomposition is cubic-ish and would
+#: dominate the report without saying anything about the index.
+BENCH_FAMILIES = ("core", "truss", "weighted")
+
+
+def bench_family(name: str, graph, backend, family_name: str, seed: int = 7) -> dict:
+    """Cold (fresh index per metric) vs warm (one shared index) per family."""
+    fam = get_family(family_name)
+    params = {}
+    if fam.name == "weighted":
+        rng = np.random.default_rng(seed)
+        params = {"edge_weights": rng.lognormal(sigma=0.75, size=graph.num_edges)}
+    metrics = fam.batch_metrics
+
+    cold_answers = {}
+    start = time.perf_counter()
+    for metric in metrics:
+        fresh = BestKIndex(graph, backend=backend)
+        result = fresh.best_level(fam, metric, **params)
+        cold_answers[metric] = (result.k, result.score)
+    cold_total = time.perf_counter() - start
+
+    index = BestKIndex(graph, backend=backend)
+    start = time.perf_counter()
+    warm_results = index.best_level_all_metrics(fam, **params)
+    warm_total = time.perf_counter() - start
+
+    for metric in metrics:
+        warm = warm_results[fam.resolve_metric(metric).name]
+        assert cold_answers[metric] == (warm.k, warm.score), (
+            f"cold/warm mismatch on {name}/{fam.name}/{metric}"
+        )
+
+    row = {
+        "family": fam.name,
+        "metrics": len(metrics),
+        "cold_seconds": round(cold_total, 6),
+        "warm_seconds": round(warm_total, 6),
+        "speedup": round(cold_total / max(warm_total, 1e-9), 2),
+        "warm_phases": {
+            k: round(v, 6) for k, v in index.phase_seconds(fam.name).items()
+        },
+    }
+    print(
+        f"  family {fam.name:9s} cold {cold_total * 1e3:9.1f} ms   "
+        f"warm {warm_total * 1e3:9.1f} ms   speedup {row['speedup']:5.1f}x",
+        flush=True,
+    )
+    return row
 
 
 def bench_dataset(name: str, graph, backend) -> dict:
@@ -149,6 +209,9 @@ def bench_dataset(name: str, graph, backend) -> dict:
             "speedup": round(py_seconds / max(np_seconds, 1e-9), 2),
             "identical": identical,
         },
+        "families": [
+            bench_family(name, graph, backend, family) for family in BENCH_FAMILIES
+        ],
     }
     print(
         f"  cold {cold_total * 1e3:9.1f} ms   warm {warm_total * 1e3:9.1f} ms   "

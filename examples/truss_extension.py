@@ -6,7 +6,7 @@ runs the concrete realisation for k-trusses:
 
 1. truss decomposition (support peeling) assigns every edge its truss
    number;
-2. the generalised level machinery (``repro.truss.levels``) re-uses
+2. the generalised level machinery (``repro.engine.levels``) re-uses
    Algorithm 1's ordering and Algorithm 2/3's incremental accumulation with
    the vertex truss level in the role of coreness;
 3. best k per metric falls out in one top-down pass, exactly like cores.

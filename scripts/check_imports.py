@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Enforce the import-layering contract of the hierarchy-engine refactor.
+
+Layering (DESIGN.md, engine section):
+
+* ``repro.graph``, ``repro.errors``, ``repro.kernels`` — foundation; must
+  not import the engine or any family package.
+* ``repro.engine`` — the generic layer; must not import any family
+  package statically (built-ins bootstrap lazily via ``importlib`` inside
+  function bodies, which this checker intentionally does not whitelist
+  away: it only inspects ``import``/``from`` statements).
+* family packages (``repro.core``, ``repro.truss``, ``repro.weighted``,
+  ``repro.ecc``) — may depend on ``engine``, ``kernels``, ``graph``,
+  ``errors``, ``generators`` — and NEVER on each other.
+* everything else (``index``, ``apps``, ``bench``, ``cli``, ...) — higher
+  layers, unconstrained.
+
+The check is AST-based and covers module-level *and* function-local
+``import x`` / ``from x import y`` statements, including relative imports,
+so a lazy ``from ..core import ...`` inside a function still counts.
+
+Exit status 0 when the contract holds, 1 with a violation listing
+otherwise.  Run from the repository root::
+
+    python scripts/check_imports.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+PACKAGE = "repro"
+
+FAMILY_PACKAGES = ("core", "truss", "weighted", "ecc")
+
+#: subpackage -> the repro subpackages it must never import.
+FORBIDDEN: dict[str, tuple[str, ...]] = {
+    "graph": ("engine", "index", "apps", "bench", "cli") + FAMILY_PACKAGES,
+    "errors": ("engine", "index", "apps", "bench", "cli") + FAMILY_PACKAGES,
+    "kernels": ("engine", "index", "apps", "bench", "cli") + FAMILY_PACKAGES,
+    "engine": FAMILY_PACKAGES + ("index", "apps", "bench", "cli"),
+}
+for _family in FAMILY_PACKAGES:
+    FORBIDDEN[_family] = tuple(f for f in FAMILY_PACKAGES if f != _family) + (
+        "index", "apps", "bench", "cli",
+    )
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name of a source file under ``src/``."""
+    rel = path.relative_to(SRC).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def resolve_relative(module: str, node: ast.ImportFrom, is_package: bool) -> str | None:
+    """Absolute dotted target of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module
+    parts = module.split(".")
+    # A package's own __init__ counts as one level deeper than its name.
+    anchor = parts if is_package else parts[:-1]
+    up = node.level - 1
+    if up > len(anchor):
+        return None
+    base = anchor[: len(anchor) - up]
+    return ".".join(base + [node.module]) if node.module else ".".join(base)
+
+
+def imported_targets(path: Path) -> list[tuple[int, str]]:
+    """All (lineno, absolute dotted target) imports in a file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    module = module_name(path)
+    is_package = path.name == "__init__.py"
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            out.extend((node.lineno, alias.name) for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            target = resolve_relative(module, node, is_package)
+            if target is None:
+                continue
+            out.append((node.lineno, target))
+            # ``from ..pkg import sub`` may bind submodules too; record them
+            # so ``from .. import core`` inside repro.truss is caught.
+            for alias in node.names:
+                out.append((node.lineno, f"{target}.{alias.name}"))
+    return out
+
+
+def owning_subpackage(dotted: str) -> str | None:
+    """The repro subpackage a dotted module belongs to, if any."""
+    parts = dotted.split(".")
+    if len(parts) >= 2 and parts[0] == PACKAGE:
+        return parts[1]
+    return None
+
+
+def check() -> list[str]:
+    violations: list[str] = []
+    for path in sorted((SRC / PACKAGE).rglob("*.py")):
+        source_pkg = owning_subpackage(module_name(path) + ".x")
+        if source_pkg not in FORBIDDEN:
+            continue
+        banned = FORBIDDEN[source_pkg]
+        for lineno, target in imported_targets(path):
+            target_pkg = owning_subpackage(target)
+            if target_pkg in banned:
+                violations.append(
+                    f"{path.relative_to(SRC.parent)}:{lineno}: "
+                    f"{source_pkg!r} must not import {PACKAGE}.{target_pkg} "
+                    f"(got {target})"
+                )
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    if violations:
+        print("import-layering contract violated:")
+        for line in violations:
+            print(f"  {line}")
+        return 1
+    checked = ", ".join(sorted(FORBIDDEN))
+    print(f"import-layering contract holds for: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

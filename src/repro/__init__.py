@@ -25,6 +25,7 @@ from .apps import (
     DensestResult,
     OptSC,
     SizedCoreResult,
+    best_sets_by_family,
     core_app,
     densest_subgraph_exact,
     greedy_peel_densest,
@@ -53,6 +54,16 @@ from .core import (
     register_metric,
 )
 from .community import label_propagation, louvain, partition_modularity
+from .engine import (
+    BestLevelResult,
+    HierarchyFamily,
+    available_families,
+    best_connected_level_set,
+    best_level_set,
+    family_set_scores,
+    get_family,
+    register_family,
+)
 from .errors import ReproError
 from .index import BestKIndex
 from .generators import load_dataset
@@ -67,6 +78,8 @@ __all__ = [
     "BestCoreResult",
     "BestKIndex",
     "BestKResult",
+    "BestLevelResult",
+    "HierarchyFamily",
     "CoreDecomposition",
     "CoreForest",
     "DensestResult",
@@ -82,14 +95,20 @@ __all__ = [
     "ReproError",
     "SizedCoreResult",
     "available_backends",
+    "available_families",
     "available_metrics",
+    "best_connected_level_set",
     "best_kcore_set",
     "best_ktruss_set",
+    "best_level_set",
     "best_s_core_set",
     "best_single_kcore",
+    "family_set_scores",
+    "get_family",
     "build_core_forest",
     "core_app",
     "core_decomposition",
+    "best_sets_by_family",
     "densest_subgraph_exact",
     "get_backend",
     "get_metric",
@@ -105,6 +124,7 @@ __all__ = [
     "order_vertices",
     "partition_modularity",
     "register_backend",
+    "register_family",
     "register_metric",
     "s_core_decomposition",
     "save_edge_list",

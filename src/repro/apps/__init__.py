@@ -2,10 +2,12 @@
 
 * densest subgraph: Opt-D vs CoreApp vs exact (Table VIII),
 * maximum clique ground truth (Table VIII),
-* size-constrained k-core queries, Opt-SC (Table IX).
+* size-constrained k-core queries, Opt-SC (Table IX),
+* the cross-family best-community sweep over the hierarchy registry.
 """
 
 from .clique import greedy_clique, is_clique, max_clique
+from .families import best_sets_by_family
 from .densest import (
     DensestResult,
     core_app,
@@ -21,6 +23,7 @@ __all__ = [
     "FlowNetwork",
     "OptSC",
     "SizedCoreResult",
+    "best_sets_by_family",
     "core_app",
     "densest_subgraph_exact",
     "greedy_clique",

@@ -44,17 +44,17 @@ from ..core import (
     kcore_set_scores,
     order_vertices,
 )
-from ..core.primary import graph_totals, primary_values
+from ..engine import (
+    baseline_family_set_scores,
+    best_level_set,
+    family_set_scores,
+    get_family,
+)
+from ..engine.primary import graph_totals, primary_values
 from ..errors import QueryError
 from ..generators import DATASETS, coauthorship_graph, load_dataset
 from ..graph.csr import Graph
 from ..index import BestKIndex
-from ..truss import (
-    baseline_ktruss_set_scores,
-    level_ordering,
-    level_set_scores,
-    truss_decomposition,
-)
 from .figures import Series, windowed_average
 from .harness import RunRecord, TimeBudget, format_seconds, time_call
 from .tables import TextTable
@@ -574,7 +574,8 @@ def extension_truss(
     *, scale: float | None = None, datasets: tuple[str, ...] = ("AP", "G", "D"),
     verify: bool = True,
 ) -> TextTable:
-    """E1: best k for k-truss sets via the generalised level machinery."""
+    """E1: best k for k-truss sets via the generic hierarchy engine."""
+    family = get_family("truss")
     metrics = ("ad", "den", "cc")
     table = TextTable(
         "Extension E1: best k-truss set per metric",
@@ -582,18 +583,19 @@ def extension_truss(
     )
     for key in datasets:
         graph = load_dataset(key, scale=scale)
-        td, _ = time_call(truss_decomposition, graph)
+        td, _ = time_call(family.decompose, graph)
 
         def optimal_all() -> list:
-            ordering = level_ordering(graph, td.vertex_level)
+            ordering = family.ordering(graph, family.levels(td))
             return [
-                level_set_scores(graph, td.vertex_level, m, ordering=ordering)
+                family_set_scores(graph, family, m, decomposition=td, ordering=ordering)
                 for m in metrics
             ]
 
         def baseline_all() -> list:
             return [
-                baseline_ktruss_set_scores(graph, m, decomposition=td) for m in metrics
+                baseline_family_set_scores(graph, family, m, decomposition=td)
+                for m in metrics
             ]
 
         fast, opt_t = time_call(optimal_all)
@@ -622,13 +624,7 @@ def extension_weighted(
     social interaction counts); the incremental weighted pass is verified
     against the from-scratch baseline and timed against it.
     """
-    from ..weighted import (
-        baseline_s_core_set_scores,
-        best_s_core_set,
-        s_core_decomposition,
-        s_core_set_scores,
-    )
-
+    family = get_family("weighted")
     table = TextTable(
         "Extension E2: best s-core set under weighted metrics",
         ["Dataset", "smax", "best s (w-ad)", "best s (w-con)", "optimal t", "baseline t"],
@@ -637,19 +633,18 @@ def extension_weighted(
     for key in datasets:
         graph = load_dataset(key, scale=scale)
         weights = rng.lognormal(mean=0.0, sigma=0.75, size=graph.num_edges)
-        decomp = s_core_decomposition(graph, weights)
+        params = {"edge_weights": weights, "num_levels": num_levels}
+        decomp = family.decompose(graph, **params)
 
         def optimal_two():
             return [
-                s_core_set_scores(graph, weights, m, decomposition=decomp,
-                                  num_levels=num_levels)
+                family_set_scores(graph, family, m, decomposition=decomp, **params)
                 for m in ("weighted_average_degree", "weighted_conductance")
             ]
 
         def baseline_two():
             return [
-                baseline_s_core_set_scores(graph, weights, m, decomposition=decomp,
-                                           num_levels=num_levels)
+                baseline_family_set_scores(graph, family, m, decomposition=decomp, **params)
                 for m in ("weighted_average_degree", "weighted_conductance")
             ]
 
@@ -658,10 +653,10 @@ def extension_weighted(
         if verify:
             for f, s in zip(fast, slow):
                 np.testing.assert_allclose(f.scores, s.scores, equal_nan=True, atol=1e-9)
-        best_ad = best_s_core_set(graph, weights, "weighted_average_degree",
-                                  num_levels=num_levels)
-        best_con = best_s_core_set(graph, weights, "weighted_conductance",
-                                   num_levels=num_levels)
+        best_ad = best_level_set(graph, family, "weighted_average_degree",
+                                 decomposition=decomp, **params)
+        best_con = best_level_set(graph, family, "weighted_conductance",
+                                  decomposition=decomp, **params)
         table.add_row(
             key, round(decomp.smax, 2), round(best_ad.s, 3), round(best_con.s, 3),
             format_seconds(opt_t), format_seconds(base_t),
@@ -788,8 +783,9 @@ def extension_ecc(*, seed: int = 2) -> TextTable:
     the k-core answer on the same graphs.
     """
     from ..generators import planted_partition
-    from ..ecc import best_kecc_set, ecc_decomposition
 
+    ecc_family = get_family("ecc")
+    core_family = get_family("core")
     table = TextTable(
         "Extension E5: best k-ECC set vs best k-core set",
         ["Graph", "ecc kmax", "core kmax",
@@ -800,12 +796,12 @@ def extension_ecc(*, seed: int = 2) -> TextTable:
                ("planted 4x20 sparse", 4, 20, 0.35, 0.02)]
     for name, blocks, size, p_in, p_out in configs:
         graph, _ = planted_partition(blocks, size, p_in, p_out, seed=seed)
-        ecc = ecc_decomposition(graph)
-        core = core_decomposition(graph)
+        ecc = ecc_family.decompose(graph)
+        core = core_family.decompose(graph)
         row = [name, ecc.kmax, core.kmax]
         for metric in ("average_degree", "conductance"):
-            row.append(best_kecc_set(graph, metric, decomposition=ecc).k)
-            row.append(best_kcore_set(graph, metric).k)
+            row.append(best_level_set(graph, ecc_family, metric, decomposition=ecc).k)
+            row.append(best_level_set(graph, core_family, metric, decomposition=core).k)
         table.add_row(*row)
     table.add_note("edge connectivity <= coreness, so the ecc ks sit at or below the core ks")
     return table

@@ -3,9 +3,12 @@
 Installed as the ``bestk`` console script (also ``python -m repro``):
 
 * ``bestk decompose GRAPH``            — coreness statistics of a graph
-* ``bestk set GRAPH -m METRIC``        — best k for the k-core set
+* ``bestk set GRAPH -m METRIC``        — best level set of any registered
+  hierarchy family (``--family {core,truss,weighted,ecc}``; default core)
 * ``bestk core GRAPH -m METRIC``       — best single k-core
 * ``bestk truss GRAPH -m METRIC``      — best k for the k-truss set
+  (alias for ``set --family truss``)
+* ``bestk families``                   — list the hierarchy-family registry
 * ``bestk densest GRAPH``              — Opt-D vs CoreApp
 * ``bestk forest GRAPH``               — ASCII core-forest tree
 * ``bestk profile GRAPH -m METRIC``    — score-vs-k profile with sparkline
@@ -29,15 +32,14 @@ from .bench import render_series, workloads
 from .core import (
     PAPER_METRICS,
     available_metrics,
-    best_kcore_set,
     best_single_kcore,
     core_decomposition,
 )
+from .engine import available_families, get_family
 from .errors import ReproError
 from .generators import DATASETS, load_dataset
 from .graph import load_edge_list, validate_graph
 from .graph.csr import Graph
-from .truss import best_ktruss_set
 
 __all__ = ["main", "build_parser"]
 
@@ -85,20 +87,38 @@ def build_parser() -> argparse.ArgumentParser:
     graph_arg(p)
 
     for name, helptext in (
-        ("set", "best k for the k-core set"),
+        ("set", "best level set of a hierarchy family (Problem 1)"),
         ("core", "best single k-core"),
-        ("truss", "best k for the k-truss set"),
+        ("truss", "best k for the k-truss set (= set --family truss)"),
     ):
         p = sub.add_parser(name, help=helptext)
         graph_arg(p)
         p.add_argument(
-            "-m", "--metric", default="average_degree",
-            help=f"community metric ({', '.join(available_metrics())})",
+            "-m", "--metric", default=None,
+            help="community metric (default: the family's default metric; "
+                 f"core metrics: {', '.join(available_metrics())})",
         )
         p.add_argument(
             "--all-metrics", action="store_true",
-            help="report every paper metric instead of one",
+            help="report every one of the family's batch metrics instead of one",
         )
+        if name == "set":
+            p.add_argument(
+                "--family", default="core",
+                help="hierarchy family from the registry "
+                     "(core, truss, weighted, ecc, or any registered family)",
+            )
+            p.add_argument(
+                "--weights-seed", type=int, default=7,
+                help="seed for synthetic log-normal edge weights "
+                     "(weighted family only)",
+            )
+            p.add_argument(
+                "--num-levels", type=int, default=64,
+                help="strength quantisation resolution (weighted family only)",
+            )
+
+    sub.add_parser("families", help="list the hierarchy-family registry")
 
     p = sub.add_parser("densest", help="densest subgraph: Opt-D vs CoreApp")
     graph_arg(p)
@@ -147,31 +167,69 @@ def _cmd_bestk(args, which: str) -> int:
     from .index import BestKIndex
 
     graph = _load_graph(args.graph)
-    metrics = PAPER_METRICS if args.all_metrics else (args.metric,)
-    finders = {
-        "set": best_kcore_set,
-        "core": best_single_kcore,
-        "truss": best_ktruss_set,
-    }
     # One shared index across every metric: expensive artifacts (peeling,
     # ordering, forest, triangle charges) are built once and reused, which
     # is the whole point of --all-metrics.
     index = BestKIndex(graph)
     start = time.perf_counter()
-    for metric in metrics:
-        result = finders[which](graph, metric, index=index)
-        print(
-            f"{metric}: best k = {result.k}, score = {result.score:.6g}, "
-            f"|V| = {len(result.vertices)}"
+    if which == "core":
+        # Problem 2 stays core-specific (Algorithm 5 over the core forest).
+        metrics = PAPER_METRICS if args.all_metrics else (args.metric or "average_degree",)
+        for metric in metrics:
+            result = best_single_kcore(graph, metric, index=index)
+            print(
+                f"{metric}: best k = {result.k}, score = {result.score:.6g}, "
+                f"|V| = {len(result.vertices)}"
+            )
+    else:
+        family = get_family("truss" if which == "truss" else args.family)
+        params = {}
+        if family.name == "weighted":
+            import numpy as np
+
+            rng = np.random.default_rng(args.weights_seed)
+            params = {
+                "edge_weights": rng.lognormal(mean=0.0, sigma=0.75, size=graph.num_edges),
+                "num_levels": args.num_levels,
+            }
+            print(
+                f"# synthetic log-normal edge weights "
+                f"(seed {args.weights_seed}, {args.num_levels} quantised levels)"
+            )
+        metrics = (
+            family.batch_metrics if args.all_metrics
+            else (args.metric or family.default_metric,)
         )
+        for metric in metrics:
+            result = index.best_level(family, metric, **params)
+            print(
+                f"{metric}: best k = {result.k}, score = {result.score:.6g}, "
+                f"|V| = {len(result.vertices)}"
+            )
     if args.all_metrics:
         total = time.perf_counter() - start
         build = index.total_build_seconds()
         print(
-            f"index built once in {build:.3f}s "
-            f"({', '.join(f'{k}={v:.3f}s' for k, v in index.phase_seconds().items() if v)}); "
+            f"index built once in {build:.3f}s; "
             f"scoring all {len(metrics)} metrics took {max(total - build, 0.0):.3f}s"
         )
+        for fam_name in index.built_families():
+            split = ", ".join(
+                f"{k}={v:.3f}s" for k, v in index.phase_seconds(fam_name).items() if v
+            )
+            print(f"  {fam_name}: {split}")
+    return 0
+
+
+def _cmd_families(_args) -> int:
+    for name in available_families():
+        fam = get_family(name)
+        print(
+            f"{name:9s} {fam.title:18s} level={fam.level_label:2s} "
+            f"section={fam.paper_section or '-':6s} default={fam.default_metric}"
+        )
+        if fam.description:
+            print(f"          {fam.description}")
     return 0
 
 
@@ -235,6 +293,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_decompose(args)
         if args.command in ("set", "core", "truss"):
             return _cmd_bestk(args, args.command)
+        if args.command == "families":
+            return _cmd_families(args)
         if args.command == "densest":
             return _cmd_densest(args)
         if args.command == "forest":

@@ -30,6 +30,7 @@ from .bestk_set import (
 from .combine import CombinedBestK, combined_kcore_scores, combined_kcore_set_scores
 from .decomposition import CoreDecomposition, core_decomposition
 from .dynamic import DynamicCoreness
+from .family import CoreFamily, core_level_view
 from .iterative import core_decomposition_hindex, semi_external_core_decomposition
 from .forest import CoreForest, CoreNode, build_core_forest, build_core_forest_union_find
 from .metrics import (
@@ -48,6 +49,7 @@ __all__ = [
     "BestKResult",
     "CombinedBestK",
     "CoreDecomposition",
+    "CoreFamily",
     "CoreForest",
     "CoreNode",
     "DynamicCoreness",
@@ -69,6 +71,7 @@ __all__ = [
     "combined_kcore_set_scores",
     "core_decomposition",
     "core_decomposition_hindex",
+    "core_level_view",
     "count_triangles",
     "count_triangles_and_triplets",
     "count_triplets",

@@ -1,40 +1,47 @@
 """Finding the best k-core set — paper Section III.
 
-Two computation paths are provided:
+Thin shims over the generic hierarchy engine: the k-core family was the
+paper's original instantiation, and its scan loop, result records and
+baseline now live once in :mod:`repro.engine` (shared with the truss,
+weighted and ECC families).  Every entry point here delegates with the
+``core`` family and returns bit-identical results to the historic
+implementations:
 
-* :func:`baseline_kcore_set_scores` — the paper's baseline (Section III-A):
-  retrieve the vertex set of every ``C_k`` from the coreness ordering and
-  recompute its primary values from scratch, once per k.
-* :func:`kcore_set_scores` — the optimal algorithms: Algorithm 2 for the
-  O(m) metrics (``in``/``out``/``num``) and Algorithm 3 when triangles and
-  triplets are also required.  Scores of **all** k-core sets come out of one
-  top-down pass over the shells.
+* :func:`kcore_set_scores` — the optimal path (Algorithms 2/3) via
+  :func:`repro.engine.family_set_scores`;
+* :func:`baseline_kcore_set_scores` — the Section III-A from-scratch
+  baseline via :func:`repro.engine.baseline_family_set_scores`;
+* :func:`best_kcore_set` — Problem 1 via :func:`repro.engine.best_level_set`.
 
-Both return the same :class:`KCoreSetScores` record, and
-:func:`best_kcore_set` picks the winner (ties broken towards the largest k,
-as in the paper's Table IV).
-
-The shell-by-shell accumulation of Algorithm 2 is expressed as suffix sums
-over the coreness-sorted vertex order: every vertex ``v`` contributes
-``2|N(v,>)| + |N(v,=)|`` internal edge-endpoints and
-``|N(v,<)| - |N(v,>)|`` boundary edges to its own shell, and the totals of
-``C_k`` are exactly the contributions of all shells ``>= k``.  This is the
-identical arithmetic to the paper's pseudo-code, evaluated with O(1) work
-per vertex — hence O(n) scoring after the O(m) index build.
+The shell-arithmetic helpers (:func:`shell_accumulate`,
+:func:`triangle_triplet_by_shell`, ...) remain as the historic k-core
+vocabulary over the engine's level helpers; the shared
+:class:`~repro.index.BestKIndex` still consumes them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
+from ..engine.family import (
+    BestLevelResult,
+    baseline_family_set_scores,
+    best_level_set,
+    family_set_scores,
+)
+from ..engine.levels import (
+    LevelSetScores,
+    accumulate_level_totals,
+    cumulate_from_top,
+    scores_from_level_totals,
+    triangle_level_increments,
+    unweighted_level_charges,
+)
 from ..graph.csr import Graph
-from .decomposition import CoreDecomposition, core_decomposition
+from .decomposition import CoreDecomposition
+from .family import core_level_view
 from .metrics import Metric, get_metric
-from .ordering import OrderedGraph, order_vertices
-from .primary import GraphTotals, PrimaryValues, graph_totals, primary_values
-from .triangles import triangles_by_min_rank_vertex, triplet_group_deltas
+from .ordering import OrderedGraph
 
 __all__ = [
     "KCoreSetScores",
@@ -48,56 +55,13 @@ __all__ = [
     "scores_from_shell_totals",
 ]
 
-
-@dataclass(frozen=True)
-class KCoreSetScores:
-    """Scores and primary values of every k-core set ``C_0 .. C_kmax``."""
-
-    metric: Metric
-    totals: GraphTotals
-    #: ``scores[k]`` = metric score of ``C_k``; ``nan`` for empty sets.
-    scores: np.ndarray
-    #: ``values[k]`` = primary values of ``C_k``.
-    values: tuple[PrimaryValues, ...]
-
-    @property
-    def kmax(self) -> int:
-        """Largest k with a defined (possibly empty) k-core set."""
-        return len(self.scores) - 1
-
-    def best_k(self) -> int:
-        """Argmax of the scores; ties broken towards the largest k."""
-        scores = self.scores
-        finite = ~np.isnan(scores)
-        if not finite.any():
-            raise ValueError("no non-empty k-core set to choose from")
-        best = np.nanmax(scores)
-        return int(np.flatnonzero(finite & (scores == best)).max())
-
-    def __repr__(self) -> str:
-        return f"KCoreSetScores(metric={self.metric.name!r}, kmax={self.kmax})"
-
-
-@dataclass(frozen=True)
-class BestKResult:
-    """The answer to "which k is best?" for one metric on one graph."""
-
-    metric_name: str
-    k: int
-    score: float
-    scores: KCoreSetScores
-    #: Vertices of the winning k-core set (sorted ascending).
-    vertices: np.ndarray
-
-    def __repr__(self) -> str:
-        return (
-            f"BestKResult(metric={self.metric_name!r}, k={self.k}, "
-            f"score={self.score:.6g}, |V|={len(self.vertices)})"
-        )
+#: Historic names for the engine's records (``kmax``/``best_k`` intact).
+KCoreSetScores = LevelSetScores
+BestKResult = BestLevelResult
 
 
 # ----------------------------------------------------------------------
-# Shared shell arithmetic
+# Shared shell arithmetic (k-core vocabulary over the engine helpers)
 # ----------------------------------------------------------------------
 
 def shell_accumulate(ordered: OrderedGraph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -109,38 +73,11 @@ def shell_accumulate(ordered: OrderedGraph) -> tuple[np.ndarray, np.ndarray, np.
     coreness-sorted order.
     """
     decomp = ordered.decomposition
-    deg = np.diff(ordered.indptr)
-    n_lt = ordered.same
-    n_eq = ordered.plus - ordered.same
-    n_gt = deg - ordered.plus
-
-    twice_in_contrib = 2 * n_gt + n_eq
-    out_contrib = n_lt - n_gt
-
-    order = decomp.order
-    # Suffix sums over the coreness-ascending order: entry i is the total
-    # contribution of vertices ranked i and above.
-    suffix_in = np.concatenate([
-        np.cumsum(twice_in_contrib[order][::-1])[::-1], [0]
-    ])
-    suffix_out = np.concatenate([
-        np.cumsum(out_contrib[order][::-1])[::-1], [0]
-    ])
-
-    kmax = decomp.kmax
-    starts = decomp.shell_start[: kmax + 2].copy()
-    twice_in_k = suffix_in[starts]
-    out_k = suffix_out[starts]
-    num_k = len(order) - starts
+    twice_inside, boundary = unweighted_level_charges(ordered)
+    num_k, twice_in_k, out_k = accumulate_level_totals(
+        twice_inside, boundary, decomp.order, decomp.shell_start[: decomp.kmax + 2]
+    )
     return twice_in_k, out_k, num_k
-
-
-def cumulate_from_top(new: np.ndarray) -> np.ndarray:
-    """Top-down cumulation of per-shell increments into per-``C_k`` totals.
-
-    Appends the zero entry for the empty set ``C_{kmax+1}``.
-    """
-    return np.concatenate([np.cumsum(new[::-1])[::-1], [0]])
 
 
 def triangle_triplet_by_shell(
@@ -151,40 +88,22 @@ def triangle_triplet_by_shell(
     Returns ``(tri_new, trip_new)``, arrays of length ``kmax + 1`` where
     index k holds the number of triangles/triplets present in ``C_k`` but
     not in ``C_{k+1}``.  Cumulating from the top yields the counts of every
-    k-core set.
-
-    Triangles are charged to the shell of their minimum-rank corner,
-    triplets to the shell at which their centre gains the new legs; the
-    per-vertex/per-group charging lives in the kernel registry (see
-    :mod:`repro.core.triangles`) and is shared with Algorithm 5.  A
-    precomputed ``charges`` array (e.g. cached on a
+    k-core set.  A precomputed ``charges`` array (e.g. cached on a
     :class:`~repro.index.BestKIndex`) skips the O(m^1.5) pass.
     """
     decomp = ordered.decomposition
-    kmax = decomp.kmax
-    tri_charges = charges
-    if tri_charges is None:
-        tri_charges = triangles_by_min_rank_vertex(ordered, backend=backend)
-    shells = [decomp.shell(k) for k in range(kmax, -1, -1)]
-    trip_deltas = triplet_group_deltas(ordered, shells, backend=backend)
+    return triangle_level_increments(
+        ordered,
+        decomp.order,
+        decomp.shell_start[: decomp.kmax + 2],
+        backend=backend,
+        charges=charges,
+    )
 
-    tri_new = np.zeros(kmax + 1, dtype=np.int64)
-    trip_new = np.zeros(kmax + 1, dtype=np.int64)
-    for i, k in enumerate(range(kmax, -1, -1)):
-        shell = shells[i]
-        if len(shell):
-            tri_new[k] = int(tri_charges[shell].sum())
-        trip_new[k] = trip_deltas[i]
-    return tri_new, trip_new
-
-
-# ----------------------------------------------------------------------
-# Public scoring entry points
-# ----------------------------------------------------------------------
 
 def scores_from_shell_totals(
     metric: Metric,
-    totals: GraphTotals,
+    totals,
     twice_in_k: np.ndarray,
     out_k: np.ndarray,
     num_k: np.ndarray,
@@ -193,25 +112,15 @@ def scores_from_shell_totals(
 ) -> KCoreSetScores:
     """Assemble :class:`KCoreSetScores` from precomputed per-``C_k`` totals.
 
-    The O(kmax) scoring tail of Algorithms 2/3, split out so the shared
-    :class:`~repro.index.BestKIndex` can reuse one set of accumulated
-    totals across every metric.
+    The historic argument order (``in``/``out``/``num``) over the engine's
+    :func:`~repro.engine.scores_from_level_totals` scoring tail.
     """
-    kmax = len(num_k) - 2
-    values = []
-    scores = np.full(kmax + 1, np.nan)
-    for k in range(kmax + 1):
-        pv = PrimaryValues(
-            num_vertices=int(num_k[k]),
-            num_edges=int(twice_in_k[k]) // 2,
-            num_boundary=int(out_k[k]),
-            num_triangles=None if tri_k is None else int(tri_k[k]),
-            num_triplets=None if trip_k is None else int(trip_k[k]),
-        )
-        values.append(pv)
-        scores[k] = metric.score(pv, totals)
-    return KCoreSetScores(metric, totals, scores, tuple(values))
+    return scores_from_level_totals(metric, totals, num_k, twice_in_k, out_k, tri_k, trip_k)
 
+
+# ----------------------------------------------------------------------
+# Public scoring entry points
+# ----------------------------------------------------------------------
 
 def kcore_set_scores(
     graph: Graph,
@@ -239,19 +148,14 @@ def kcore_set_scores(
         and memoized on — the index.  Results are identical.
     """
     metric = get_metric(metric)
-    if index is not None:
-        return index.set_scores(metric)
-    if ordered is None:
-        ordered = order_vertices(graph)
-    totals = graph_totals(graph)
-
-    twice_in_k, out_k, num_k = shell_accumulate(ordered)
-    tri_k = trip_k = None
-    if metric.requires_triangles:
-        tri_new, trip_new = triangle_triplet_by_shell(ordered)
-        tri_k = cumulate_from_top(tri_new)
-        trip_k = cumulate_from_top(trip_new)
-    return scores_from_shell_totals(metric, totals, twice_in_k, out_k, num_k, tri_k, trip_k)
+    return family_set_scores(
+        graph,
+        "core",
+        metric,
+        decomposition=None if ordered is None else ordered.decomposition,
+        ordering=None if ordered is None else core_level_view(ordered),
+        index=index,
+    )
 
 
 def baseline_kcore_set_scores(
@@ -267,19 +171,7 @@ def baseline_kcore_set_scores(
     by scanning the induced subgraph — ``O(sum_k (q_k + |V(C_k)|))`` overall,
     the cost Algorithm 2/3 eliminate.
     """
-    metric = get_metric(metric)
-    if decomposition is None:
-        decomposition = core_decomposition(graph)
-    totals = graph_totals(graph)
-    kmax = decomposition.kmax
-    values = []
-    scores = np.full(kmax + 1, np.nan)
-    for k in range(kmax + 1):
-        members = decomposition.kcore_set_vertices(k)
-        pv = primary_values(graph, members, count_triangles=metric.requires_triangles)
-        values.append(pv)
-        scores[k] = metric.score(pv, totals)
-    return KCoreSetScores(metric, totals, scores, tuple(values))
+    return baseline_family_set_scores(graph, "core", metric, decomposition=decomposition)
 
 
 def best_kcore_set(
@@ -298,19 +190,12 @@ def best_kcore_set(
     :class:`~repro.index.BestKIndex` as ``index`` reuses its cached
     artifacts.
     """
-    metric = get_metric(metric)
-    if index is not None:
-        decomp = index.decomposition
-    else:
-        if ordered is None:
-            ordered = order_vertices(graph)
-        decomp = ordered.decomposition
-    if use_baseline:
-        scores = baseline_kcore_set_scores(graph, metric, decomposition=decomp)
-    elif index is not None:
-        scores = index.set_scores(metric)
-    else:
-        scores = kcore_set_scores(graph, metric, ordered=ordered)
-    k = scores.best_k()
-    members = np.sort(decomp.kcore_set_vertices(k))
-    return BestKResult(metric.name, k, float(scores.scores[k]), scores, members)
+    return best_level_set(
+        graph,
+        "core",
+        metric,
+        decomposition=None if ordered is None else ordered.decomposition,
+        ordering=None if ordered is None else core_level_view(ordered),
+        index=index,
+        use_baseline=use_baseline,
+    )

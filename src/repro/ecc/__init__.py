@@ -11,11 +11,13 @@ from .bestk import (
     kecc_set_scores,
 )
 from .decomposition import EccDecomposition, ecc_decomposition, k_edge_components
+from .family import EccFamily
 from .mincut import stoer_wagner
 
 __all__ = [
     "BestEccResult",
     "EccDecomposition",
+    "EccFamily",
     "baseline_kecc_set_scores",
     "best_kecc_set",
     "ecc_decomposition",

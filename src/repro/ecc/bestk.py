@@ -1,42 +1,31 @@
 """Best k for the k-ECC set — third instantiation of the level machinery.
 
-With ECC levels from :func:`repro.ecc.ecc_decomposition`, the generalised
-Algorithm 1/2/3 of :mod:`repro.truss.levels` scores every k-ECC vertex set
-in one pass, exactly as it does for cores and trusses — the breadth the
+With ECC levels from :func:`repro.ecc.ecc_decomposition`, the generic
+hierarchy engine (:mod:`repro.engine`) scores every k-ECC vertex set in
+one pass, exactly as it does for cores and trusses — the breadth the
 paper claims for its framework ("our algorithm for finding the best k may
-be applied", Section VI-B, naming k-ecc in the introduction).
+be applied", Section VI-B, naming k-ecc in the introduction).  Every
+entry point here is a thin shim delegating to the engine with the ``ecc``
+family, returning bit-identical results to the historic implementations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
+from ..engine.family import (
+    BestLevelResult,
+    baseline_family_set_scores,
+    best_level_set,
+    family_set_scores,
+)
+from ..engine.levels import LevelSetScores
+from ..engine.metrics import Metric
 from ..graph.csr import Graph
-from ..core.metrics import Metric, get_metric
-from ..core.primary import graph_totals, primary_values
-from ..truss.levels import LevelSetScores, level_set_scores
-from .decomposition import EccDecomposition, ecc_decomposition
+from .decomposition import EccDecomposition
 
 __all__ = ["BestEccResult", "kecc_set_scores", "baseline_kecc_set_scores", "best_kecc_set"]
 
-
-@dataclass(frozen=True)
-class BestEccResult:
-    """Best k for the k-ECC set under one metric."""
-
-    metric_name: str
-    k: int
-    score: float
-    scores: LevelSetScores
-    vertices: np.ndarray
-
-    def __repr__(self) -> str:
-        return (
-            f"BestEccResult(metric={self.metric_name!r}, k={self.k}, "
-            f"score={self.score:.6g}, |V|={len(self.vertices)})"
-        )
+#: Historic name for the engine's best-level record.
+BestEccResult = BestLevelResult
 
 
 def kecc_set_scores(
@@ -44,11 +33,18 @@ def kecc_set_scores(
     metric: str | Metric,
     *,
     decomposition: EccDecomposition | None = None,
+    index=None,
 ) -> LevelSetScores:
-    """Score every k-ECC vertex set incrementally."""
-    if decomposition is None:
-        decomposition = ecc_decomposition(graph)
-    return level_set_scores(graph, decomposition.level, metric)
+    """Score every k-ECC vertex set incrementally.
+
+    Passing a :class:`~repro.index.BestKIndex` as ``index`` (takes
+    precedence over ``decomposition``) fetches and memoizes the ECC
+    decomposition, the level ordering, and the per-metric scores on the
+    index.
+    """
+    return family_set_scores(
+        graph, "ecc", metric, decomposition=decomposition, index=index
+    )
 
 
 def baseline_kecc_set_scores(
@@ -58,22 +54,7 @@ def baseline_kecc_set_scores(
     decomposition: EccDecomposition | None = None,
 ) -> LevelSetScores:
     """From-scratch verification baseline over the ECC levels."""
-    metric = get_metric(metric)
-    if decomposition is None:
-        decomposition = ecc_decomposition(graph)
-    totals = graph_totals(graph)
-    kmax = decomposition.kmax
-    values = []
-    scores = np.full(kmax + 1, np.nan)
-    for k in range(kmax + 1):
-        members = (
-            np.arange(graph.num_vertices) if k == 0
-            else decomposition.kecc_set_vertices(k)
-        )
-        pv = primary_values(graph, members, count_triangles=metric.requires_triangles)
-        values.append(pv)
-        scores[k] = metric.score(pv, totals)
-    return LevelSetScores(metric, totals, scores, tuple(values))
+    return baseline_family_set_scores(graph, "ecc", metric, decomposition=decomposition)
 
 
 def best_kecc_set(
@@ -81,15 +62,9 @@ def best_kecc_set(
     metric: str | Metric,
     *,
     decomposition: EccDecomposition | None = None,
+    index=None,
 ) -> BestEccResult:
     """Find the k maximising the metric over all k-ECC sets."""
-    metric = get_metric(metric)
-    if decomposition is None:
-        decomposition = ecc_decomposition(graph)
-    scores = kecc_set_scores(graph, metric, decomposition=decomposition)
-    k = scores.best_k()
-    members = (
-        np.arange(graph.num_vertices) if k == 0
-        else decomposition.kecc_set_vertices(k)
+    return best_level_set(
+        graph, "ecc", metric, decomposition=decomposition, index=index
     )
-    return BestEccResult(metric.name, k, float(scores.scores[k]), scores, members)

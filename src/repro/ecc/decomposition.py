@@ -110,8 +110,10 @@ def ecc_decomposition(graph: Graph, *, max_k: int | None = None) -> EccDecomposi
     if graph.num_edges == 0:
         return EccDecomposition(graph, level)
     if max_k is None:
-        from ..core.decomposition import core_decomposition
-        max_k = core_decomposition(graph).kmax  # lambda(v) <= coreness bound
+        from ..kernels import get_backend
+        # lambda(v) <= coreness, so the degeneracy bounds the sweep; the
+        # peel kernel gives it without depending on the core family.
+        max_k = int(get_backend().peel_coreness(graph).max())
     components = k_edge_components(graph, 1)
     for comp in components:
         level[comp] = 1

@@ -1,0 +1,34 @@
+"""The k-ECC hierarchy family.
+
+Registers ``ecc`` with the engine registry.  The per-vertex ECC level —
+the largest k whose k-edge-connected component contains the vertex —
+plays the level role; everything else is the engine's defaults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.family import HierarchyFamily, register_family
+from .decomposition import EccDecomposition, ecc_decomposition
+
+__all__ = ["EccFamily"]
+
+
+class EccFamily(HierarchyFamily):
+    """k-ECC: level(v) = max k whose k-edge-connected component contains v."""
+
+    name = "ecc"
+    title = "k-ECC"
+    level_label = "k"
+    paper_section = "VI-B"
+    description = "maximal subgraphs that survive removal of any k-1 edges"
+
+    def decompose(self, graph, *, backend=None, max_k=None, **params) -> EccDecomposition:
+        return ecc_decomposition(graph, max_k=max_k)
+
+    def levels(self, decomposition: EccDecomposition, **params) -> np.ndarray:
+        return decomposition.level
+
+
+register_family(EccFamily())

@@ -1,0 +1,373 @@
+"""Generic level forest and the connected best-level variant (Section IV).
+
+The core forest of Section IV-A generalises to any nested hierarchy: the
+connected components of the level-k subgraphs form a forest (one tree per
+connected component of the graph), with one node per component holding the
+component's level-k vertices.  Because a vertex's neighbours of level
+``>= k`` are adjacent to it, they always land in *its* component — so the
+per-vertex charges of Algorithms 2/3 aggregate per node exactly as
+Algorithm 5 aggregates them for cores, for every registered family.
+
+* :func:`build_level_forest` — bottom-up union-find sweep over the levels
+  (the generalisation of ``build_core_forest_union_find``), O(m α(n));
+* :func:`family_node_scores` — Algorithm 5 generically: children totals
+  plus the node's own per-vertex deltas, one forward scan;
+* :func:`baseline_family_node_scores` — the from-scratch per-component
+  baseline (Section IV-B);
+* :func:`best_connected_level_set` — the single-community variant of the
+  best-level problem (Problem 2) for any family.
+
+The core package keeps its own :class:`~repro.core.forest.CoreForest`
+(built by the paper's LCPS, Algorithm 4); this module never imports a
+family package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import Graph
+from .family import BestLevelResult, HierarchyFamily, get_family
+from .triangles import triangles_by_min_rank_vertex, triplet_group_deltas
+
+__all__ = [
+    "LevelNode",
+    "LevelForest",
+    "LevelNodeScores",
+    "build_level_forest",
+    "family_node_scores",
+    "baseline_family_node_scores",
+    "best_connected_level_set",
+]
+
+
+@dataclass(frozen=True)
+class LevelNode:
+    """One connected level-k component in the forest.
+
+    ``vertices`` holds only the component's level-k members; the full
+    component is those plus every descendant's vertices
+    (:meth:`LevelForest.component_vertices`).
+    """
+
+    node_id: int
+    #: The level k of the component this node represents.
+    k: int
+    #: Vertices of the component with level exactly k (sorted ascending).
+    vertices: np.ndarray
+    #: Parent node id, or -1 for a root.
+    parent: int
+    #: Child node ids (components nested immediately inside this one).
+    children: tuple[int, ...]
+
+    def __repr__(self) -> str:
+        return f"LevelNode(id={self.node_id}, k={self.k}, |shell|={len(self.vertices)})"
+
+
+class LevelForest:
+    """The forest of all connected level sets, nodes sorted by descending k.
+
+    Node ids are positions in :attr:`nodes`; descending-level storage means
+    every child has a smaller id than its parent, so one forward scan
+    aggregates child totals into parents (the Algorithm 5 invariant).
+    """
+
+    def __init__(self, nodes: list[LevelNode], num_vertices: int):
+        self.nodes: tuple[LevelNode, ...] = tuple(nodes)
+        self._vertex_node = np.full(num_vertices, -1, dtype=np.int64)
+        for node in nodes:
+            self._vertex_node[node.vertices] = node.node_id
+        self._vertex_node.setflags(write=False)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of connected level sets in the hierarchy."""
+        return len(self.nodes)
+
+    @property
+    def roots(self) -> tuple[int, ...]:
+        """Node ids of the tree roots (one per connected component)."""
+        return tuple(n.node_id for n in self.nodes if n.parent == -1)
+
+    def node_of_vertex(self, v: int) -> int:
+        """Id of the node holding ``v`` (every vertex is in exactly one)."""
+        return int(self._vertex_node[v])
+
+    def component_vertices(self, node_id: int) -> np.ndarray:
+        """Full vertex set of the component represented by ``node_id``."""
+        out: list[np.ndarray] = []
+        stack = [node_id]
+        while stack:
+            node = self.nodes[stack.pop()]
+            out.append(node.vertices)
+            stack.extend(node.children)
+        return np.sort(np.concatenate(out)) if out else np.empty(0, dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return f"LevelForest(nodes={self.num_nodes}, roots={len(self.roots)})"
+
+
+def build_level_forest(graph: Graph, levels: np.ndarray) -> LevelForest:
+    """Construct the level forest bottom-up with union-find, O(m α(n)).
+
+    Levels are activated from the deepest downward; edges with both
+    endpoints active are unioned.  After level k every union-find component
+    is exactly one connected level-k set; each component that gained
+    level-k vertices becomes a node whose children are the component's
+    previous top nodes.
+    """
+    levels = np.asarray(levels, dtype=np.int64)
+    n = graph.num_vertices
+    if len(levels) != n:
+        raise ValueError("levels must have one entry per vertex")
+    if len(levels) and levels.min() < 0:
+        raise ValueError("levels must be non-negative")
+    max_level = int(levels.max()) if n else 0
+    order = np.argsort(levels, kind="stable")
+    counts = np.bincount(levels, minlength=max_level + 1) if n else np.zeros(1, np.int64)
+    level_start = np.zeros(max_level + 2, dtype=np.int64)
+    np.cumsum(counts, out=level_start[1:])
+    indptr, indices = graph.indptr, graph.indices
+
+    parent_uf = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent_uf[root] != root:
+            root = parent_uf[root]
+        while parent_uf[x] != root:
+            parent_uf[x], x = root, parent_uf[x]
+        return root
+
+    # pending[root] = top node ids currently representing that component.
+    pending: dict[int, list[int]] = {}
+    node_levels: list[int] = []
+    node_vertices: list[np.ndarray] = []
+    node_children: list[list[int]] = []
+
+    active = np.zeros(n, dtype=bool)
+    for k in range(max_level, -1, -1):
+        shell = order[level_start[k]:level_start[k + 1]]
+        if len(shell) == 0:
+            continue
+        active[shell] = True
+        for v in shell.tolist():
+            for j in range(indptr[v], indptr[v + 1]):
+                w = int(indices[j])
+                if active[w]:
+                    rv, rw = find(v), find(w)
+                    if rv != rw:
+                        parent_uf[rw] = rv
+                        merged = pending.pop(rv, []) + pending.pop(rw, [])
+                        if merged:
+                            pending[rv] = merged
+        by_root: dict[int, list[int]] = {}
+        for v in shell.tolist():
+            by_root.setdefault(find(v), []).append(v)
+        for root, members in by_root.items():
+            nid = len(node_levels)
+            node_levels.append(k)
+            node_vertices.append(np.asarray(sorted(members), dtype=np.int64))
+            node_children.append(pending.get(root, []))
+            pending[root] = [nid]
+
+    parents = [-1] * len(node_levels)
+    for nid, kids in enumerate(node_children):
+        for child in kids:
+            parents[child] = nid
+    nodes = [
+        LevelNode(
+            node_id=nid,
+            k=node_levels[nid],
+            vertices=node_vertices[nid],
+            parent=parents[nid],
+            children=tuple(node_children[nid]),
+        )
+        for nid in range(len(node_levels))
+    ]
+    return LevelForest(nodes, n)
+
+
+@dataclass(frozen=True)
+class LevelNodeScores:
+    """Scores and primary values of every connected level set (forest node)."""
+
+    metric: object
+    totals: object
+    forest: LevelForest
+    #: ``scores[i]`` = metric score of forest node i's component.
+    scores: np.ndarray
+    #: ``values[i]`` = primary values of forest node i's component.
+    values: tuple
+
+    def best_node(self) -> int:
+        """Node id of the best component; ties towards largest k, then lowest id."""
+        scores = self.scores
+        finite = ~np.isnan(scores)
+        if not finite.any():
+            raise ValueError("no candidate connected level set to choose from")
+        best = np.nanmax(scores)
+        candidates = np.flatnonzero(finite & (scores == best))
+        ks = np.asarray([self.forest.nodes[int(i)].k for i in candidates])
+        winners = candidates[ks == ks.max()]
+        return int(winners.min())
+
+    def __repr__(self) -> str:
+        name = getattr(self.metric, "name", str(self.metric))
+        return f"LevelNodeScores(metric={name!r}, nodes={len(self.scores)})"
+
+
+def _aggregate_children(forest: LevelForest, *arrays: np.ndarray) -> None:
+    """Add each node's children totals into the node, in place."""
+    for node in forest.nodes:
+        for child in node.children:
+            for arr in arrays:
+                arr[node.node_id] += arr[child]
+
+
+def family_node_scores(
+    graph: Graph,
+    family: str | HierarchyFamily,
+    metric,
+    *,
+    decomposition=None,
+    ordering=None,
+    forest: LevelForest | None = None,
+    backend=None,
+    **params,
+) -> LevelNodeScores:
+    """Score every connected level set with Algorithm 5, generically.
+
+    The node-grouped twin of :func:`~repro.engine.family.family_set_scores`:
+    the same per-vertex charges, summed per forest node instead of per
+    level, then aggregated children-into-parents in one forward scan.
+    """
+    fam = get_family(family)
+    metric = fam.resolve_metric(metric)
+    if decomposition is None:
+        decomposition = fam.decompose(graph, backend=backend, **params)
+    levels = fam.levels(decomposition, **params)
+    if ordering is None:
+        ordering = fam.ordering(graph, levels)
+    if forest is None:
+        forest = build_level_forest(graph, levels)
+    totals = fam.totals(graph, decomposition, **params)
+
+    twice_inside, boundary = fam.charges(graph, decomposition, levels, ordering, **params)
+    count = forest.num_nodes
+    twice_in = np.zeros(count, dtype=twice_inside.dtype)
+    out = np.zeros(count, dtype=boundary.dtype)
+    num = np.zeros(count, dtype=np.int64)
+    for node in forest.nodes:
+        members = node.vertices
+        twice_in[node.node_id] = twice_inside[members].sum()
+        out[node.node_id] = boundary[members].sum()
+        num[node.node_id] = len(members)
+    _aggregate_children(forest, twice_in, out, num)
+
+    tri = trip = None
+    if fam.metric_requires_triangles(metric):
+        charges = triangles_by_min_rank_vertex(ordering, backend=backend)
+        tri = np.zeros(count, dtype=np.int64)
+        for node in forest.nodes:
+            if len(node.vertices):
+                tri[node.node_id] = int(charges[node.vertices].sum())
+        trip = triplet_group_deltas(
+            ordering, [node.vertices for node in forest.nodes], backend=backend
+        )
+        _aggregate_children(forest, tri, trip)
+
+    values = []
+    scores = np.full(count, np.nan)
+    for i in range(count):
+        pv = fam.make_values(
+            num[i], twice_in[i], out[i],
+            None if tri is None else tri[i],
+            None if trip is None else trip[i],
+        )
+        values.append(pv)
+        scores[i] = metric.score(pv, totals)
+    return LevelNodeScores(metric, totals, forest, scores, tuple(values))
+
+
+def baseline_family_node_scores(
+    graph: Graph,
+    family: str | HierarchyFamily,
+    metric,
+    *,
+    decomposition=None,
+    forest: LevelForest | None = None,
+    backend=None,
+    **params,
+) -> LevelNodeScores:
+    """From-scratch per-component baseline (Section IV-B), generically."""
+    fam = get_family(family)
+    metric = fam.resolve_metric(metric)
+    if decomposition is None:
+        decomposition = fam.decompose(graph, backend=backend, **params)
+    if forest is None:
+        forest = build_level_forest(graph, fam.levels(decomposition, **params))
+    totals = fam.totals(graph, decomposition, **params)
+    count_triangles = fam.metric_requires_triangles(metric)
+
+    values = []
+    scores = np.full(forest.num_nodes, np.nan)
+    for node in forest.nodes:
+        members = forest.component_vertices(node.node_id)
+        pv = fam.subset_values(
+            graph, decomposition, members, count_triangles=count_triangles, **params
+        )
+        values.append(pv)
+        scores[node.node_id] = metric.score(pv, totals)
+    return LevelNodeScores(metric, totals, forest, scores, tuple(values))
+
+
+def best_connected_level_set(
+    graph: Graph,
+    family: str | HierarchyFamily,
+    metric=None,
+    *,
+    decomposition=None,
+    forest: LevelForest | None = None,
+    backend=None,
+    use_baseline: bool = False,
+    **params,
+) -> BestLevelResult:
+    """Best single *connected* level set for any family (Problem 2).
+
+    Ties break towards the largest level, then the lowest node id.  The
+    returned :class:`~repro.engine.family.BestLevelResult` carries the full
+    component as ``vertices`` and the node-scores record as ``scores``.
+    """
+    fam = get_family(family)
+    metric = fam.resolve_metric(fam.default_metric if metric is None else metric)
+    if decomposition is None:
+        decomposition = fam.decompose(graph, backend=backend, **params)
+    levels = fam.levels(decomposition, **params)
+    if forest is None:
+        forest = build_level_forest(graph, levels)
+    if use_baseline:
+        scored = baseline_family_node_scores(
+            graph, fam, metric,
+            decomposition=decomposition, forest=forest, backend=backend, **params,
+        )
+    else:
+        scored = family_node_scores(
+            graph, fam, metric,
+            decomposition=decomposition, forest=forest, backend=backend, **params,
+        )
+    node_id = scored.best_node()
+    node = forest.nodes[node_id]
+    thresholds = fam.thresholds(decomposition, int(levels.max()) if len(levels) else 0, **params)
+    threshold = None if thresholds is None else float(thresholds[node.k])
+    return BestLevelResult(
+        metric.name,
+        node.k,
+        float(scored.scores[node_id]),
+        scored,
+        forest.component_vertices(node_id),
+        threshold,
+        fam.name,
+    )

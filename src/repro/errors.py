@@ -35,6 +35,21 @@ class UnknownMetricError(ReproError, KeyError):
         super().__init__(f"unknown community metric {name!r}{hint}")
 
 
+class UnknownFamilyError(ReproError, KeyError):
+    """A hierarchy family name is not present in the registry.
+
+    Raised by :func:`repro.engine.get_family` for names that neither a
+    built-in family module nor :func:`repro.engine.register_family`
+    provides.
+    """
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = available
+        hint = f"; available: {', '.join(available)}" if available else ""
+        super().__init__(f"unknown hierarchy family {name!r}{hint}")
+
+
 class UnknownBackendError(ReproError, KeyError):
     """A kernel backend name is not present in the registry.
 

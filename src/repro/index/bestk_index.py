@@ -1,27 +1,39 @@
 """The shared best-k index: every expensive artifact built once, lazily.
 
 The paper's headline claim is that one O(m) index build — O(m^1.5) when
-triangles are required — amortises over the scores of *every* k-core, for
-*every* metric.  :class:`BestKIndex` realises that claim as an object: it
-wraps one graph and lazily builds, memoizes and shares
+triangles are required — amortises over the scores of *every* level set,
+for *every* metric.  :class:`BestKIndex` realises that claim as an object
+spanning every registered :class:`~repro.engine.HierarchyFamily`: it wraps
+one graph and lazily builds, memoizes and shares a **family-keyed artifact
+cache**.  Artifact keys are ``"<family>:<name>"``:
 
-* the :class:`~repro.core.decomposition.CoreDecomposition` (peeling),
-* the :class:`~repro.core.ordering.OrderedGraph` (Algorithm 1's ranked
-  adjacency + position tags),
-* the :class:`~repro.core.primary.GraphTotals`,
-* the :class:`~repro.core.forest.CoreForest` (Algorithm 4, only for
-  single-core queries),
-* the per-vertex triangle charges and per-shell / per-node triplet deltas
-  (the O(m^1.5) part, built only when a requested metric has
-  ``requires_triangles``), and
-* the truss / weighted decompositions for the extension problems.
+``<family>:decompose``
+    The family's decomposition (peeling / truss / s-core / mincut sweep).
+``<family>:levels`` / ``<family>:ordering``
+    The per-vertex level array and Algorithm 1's rank-ordered adjacency
+    with position tags (:class:`~repro.engine.levels.LevelOrdering`).
+``<family>:totals`` / ``<family>:level_totals``
+    Host-graph totals and the Algorithm 2 suffix-sum accumulation.
+``<family>:triangles`` / ``<family>:level_triangles``
+    Per-vertex min-rank triangle charges and per-level triplet deltas —
+    the O(m^1.5) part, built only when a requested metric has
+    ``requires_triangles``.
+
+The core family additionally keeps its Problem 2 artifacts
+(``core:order`` — the :class:`~repro.core.ordering.OrderedGraph` the
+level ordering is a view of — plus ``core:forest``, ``core:node_totals``
+and ``core:node_triangles`` for Algorithm 5 over the core forest).
 
 Each artifact is built at most once, the first time a query needs it:
 scoring the four O(m) paper metrics never touches the triangle pass, and
 asking for six metrics costs one build plus six O(n) scoring tails instead
-of six full rebuilds.  Scores themselves are memoized per metric, so batch
-APIs (:meth:`score_set_all_metrics`, :meth:`score_cores_all_metrics`) and
-repeated single-metric queries are idempotent.
+of six full rebuilds.  Scores themselves are memoized per
+``(family, metric)``, so the batch APIs (:meth:`score_set_all_metrics`,
+:meth:`score_cores_all_metrics`) and repeated single-metric queries are
+idempotent.  Parametrised families (the weighted family's
+``edge_weights`` / ``num_levels``) declare a
+:meth:`~repro.engine.HierarchyFamily.cache_token`; when the token changes
+the family's artifacts and scores are invalidated and rebuilt.
 
 All results are bit-identical to the from-scratch entry points
 (``tests/test_index.py`` enforces this); the index is purely a performance
@@ -42,30 +54,60 @@ from ..core.bestk_core import (
     forest_triangle_totals,
     scores_from_forest_totals,
 )
-from ..core.bestk_set import (
-    BestKResult,
-    KCoreSetScores,
-    cumulate_from_top,
-    scores_from_shell_totals,
-    shell_accumulate,
-    triangle_triplet_by_shell,
-)
-from ..core.decomposition import CoreDecomposition, core_decomposition
+from ..core.decomposition import CoreDecomposition
 from ..core.forest import CoreForest, build_core_forest
-from ..core.metrics import PAPER_METRICS, Metric, get_metric
 from ..core.ordering import OrderedGraph, order_vertices
-from ..core.primary import GraphTotals, graph_totals
-from ..core.triangles import triangles_by_min_rank_vertex
+from ..engine.family import (
+    BestLevelResult,
+    HierarchyFamily,
+    best_level_set,
+    get_family,
+)
+from ..engine.levels import (
+    LevelOrdering,
+    LevelSetScores,
+    accumulate_level_totals,
+    cumulate_from_top,
+    scores_from_level_totals,
+    triangle_level_increments,
+)
+from ..engine.metrics import PAPER_METRICS, Metric, get_metric
+from ..engine.primary import GraphTotals, graph_totals
+from ..engine.triangles import triangles_by_min_rank_vertex
+from ..errors import MetricRequirementError
 from ..graph.csr import Graph
 
 __all__ = ["BestKIndex"]
 
-#: Artifact keys whose build time counts towards the "triangles" phase.
-_TRIANGLE_KEYS = ("triangles", "shell_triangles", "node_triangles")
+#: Phase an artifact's build time counts towards, by its (unprefixed)
+#: artifact name; everything unnamed here lands in ``other``.
+_PHASE_BY_ARTIFACT = {
+    "decompose": "decompose",
+    "order": "order",
+    "ordering": "order",
+    "forest": "forest",
+    "triangles": "triangles",
+    "level_triangles": "triangles",
+    "node_triangles": "triangles",
+}
+
+#: The generic (family-agnostic) artifact names :meth:`BestKIndex.artifact`
+#: accepts; the core family additionally accepts its Problem 2 names.
+_GENERIC_ARTIFACTS = (
+    "decompose",
+    "levels",
+    "ordering",
+    "totals",
+    "level_totals",
+    "triangles",
+    "level_triangles",
+)
+
+_CORE_ARTIFACTS = ("order", "forest", "node_totals", "node_triangles")
 
 
 class BestKIndex:
-    """Lazily built, shared index answering both best-k problems.
+    """Lazily built, shared index answering best-k for every family.
 
     Parameters
     ----------
@@ -79,6 +121,7 @@ class BestKIndex:
     --------
     >>> index = BestKIndex(graph)                       # doctest: +SKIP
     >>> index.best_set("average_degree").k              # doctest: +SKIP
+    >>> index.best_level("truss", "average_degree").k   # doctest: +SKIP
     >>> index.score_set_all_metrics()                   # doctest: +SKIP
     >>> index.score_cores_all_metrics()                 # doctest: +SKIP
     """
@@ -89,44 +132,238 @@ class BestKIndex:
         self._artifacts: dict[str, object] = {}
         #: Wall seconds spent building each artifact, by artifact key.
         self.build_seconds: dict[str, float] = {}
-        self._set_scores: dict[str, KCoreSetScores] = {}
+        #: Memoized per-(family, metric) level-set scores.
+        self._scores: dict[tuple[str, str], LevelSetScores] = {}
+        #: Memoized per-metric core-forest scores (Problem 2).
         self._core_scores: dict[str, KCoreScores] = {}
-        self._truss_scores: dict[str, object] = {}
-        self._weighted: tuple[object, object] | None = None
+        #: Last-seen :meth:`HierarchyFamily.cache_token` per family.
+        self._tokens: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Lazy artifact store
     # ------------------------------------------------------------------
     def _get(self, key: str, builder: Callable[[], object]):
-        """Build-at-most-once cache; records per-artifact build time."""
+        """Build-at-most-once cache; records per-artifact build time.
+
+        Time spent building *nested* artifacts inside ``builder`` (e.g. the
+        core level ordering triggering the Algorithm 1 pass) is attributed
+        to their own keys, not double-counted here.
+        """
         if key not in self._artifacts:
+            nested_before = sum(self.build_seconds.values())
             start = time.perf_counter()
-            self._artifacts[key] = builder()
-            self.build_seconds[key] = time.perf_counter() - start
+            value = builder()
+            elapsed = time.perf_counter() - start
+            nested = sum(self.build_seconds.values()) - nested_before
+            self._artifacts[key] = value
+            self.build_seconds[key] = max(elapsed - nested, 0.0)
         return self._artifacts[key]
 
+    def _sync_token(self, fam: HierarchyFamily, params: dict) -> None:
+        """Invalidate a family's artifacts when its cache token changes."""
+        token = fam.cache_token(**params)
+        if token is None:
+            return
+        if self._tokens.get(fam.name, token) != token:
+            self._invalidate(fam.name)
+        self._tokens[fam.name] = token
+
+    def _invalidate(self, family_name: str) -> None:
+        prefix = family_name + ":"
+        for key in [k for k in self._artifacts if k.startswith(prefix)]:
+            del self._artifacts[key]
+            self.build_seconds.pop(key, None)
+        for key in [k for k in self._scores if k[0] == family_name]:
+            del self._scores[key]
+
+    # ------------------------------------------------------------------
+    # Family-keyed artifacts (any registered family)
+    # ------------------------------------------------------------------
+    def family_decomposition(self, family: str | HierarchyFamily, **params):
+        """The family's decomposition, built on first use and cached."""
+        fam = get_family(family)
+        self._sync_token(fam, params)
+        return self._get(
+            f"{fam.name}:decompose",
+            lambda: fam.decompose(self.graph, backend=self.backend, **params),
+        )
+
+    def _family_levels(self, fam: HierarchyFamily, decomposition, params) -> np.ndarray:
+        return self._get(
+            f"{fam.name}:levels", lambda: fam.levels(decomposition, **params)
+        )
+
+    def _family_ordering(self, fam: HierarchyFamily, levels, params) -> LevelOrdering:
+        return self._get(
+            f"{fam.name}:ordering",
+            lambda: fam.index_ordering(self, levels, **params),
+        )
+
+    def _family_totals(self, fam: HierarchyFamily, decomposition, params):
+        return self._get(
+            f"{fam.name}:totals",
+            lambda: fam.totals(self.graph, decomposition, **params),
+        )
+
+    def _family_level_totals(self, fam, decomposition, levels, ordering, params):
+        def build():
+            twice_inside, boundary = fam.charges(
+                self.graph, decomposition, levels, ordering, **params
+            )
+            return accumulate_level_totals(
+                twice_inside, boundary, ordering.order, ordering.level_start
+            )
+
+        return self._get(f"{fam.name}:level_totals", build)
+
+    def _family_triangle_charges(self, fam: HierarchyFamily, ordering) -> np.ndarray:
+        return self._get(
+            f"{fam.name}:triangles",
+            lambda: triangles_by_min_rank_vertex(ordering, backend=self.backend),
+        )
+
+    def _family_level_triangles(self, fam: HierarchyFamily, ordering):
+        def build():
+            tri_new, trip_new = triangle_level_increments(
+                ordering,
+                ordering.order,
+                ordering.level_start,
+                backend=self.backend,
+                charges=self._family_triangle_charges(fam, ordering),
+            )
+            return cumulate_from_top(tri_new), cumulate_from_top(trip_new)
+
+        return self._get(f"{fam.name}:level_triangles", build)
+
+    def artifact(self, family: str | HierarchyFamily, name: str, **params):
+        """Fetch (building lazily) the named artifact of a family.
+
+        Generic names (any family): ``decompose``, ``levels``, ``ordering``,
+        ``totals``, ``level_totals``, ``triangles``, ``level_triangles``.
+        The ``core`` family additionally serves its Problem 2 artifacts:
+        ``order``, ``forest``, ``node_totals``, ``node_triangles``.
+        """
+        fam = get_family(family)
+        if fam.name == "core" and name in _CORE_ARTIFACTS:
+            return {
+                "order": lambda: self.ordered,
+                "forest": lambda: self.forest,
+                "node_totals": self._node_totals,
+                "node_triangles": self._node_triangles,
+            }[name]()
+        if name not in _GENERIC_ARTIFACTS:
+            raise KeyError(
+                f"unknown artifact {name!r} for family {fam.name!r}; "
+                f"choose from {_GENERIC_ARTIFACTS}"
+            )
+        self._sync_token(fam, params)
+        if name == "decompose":
+            return self.family_decomposition(fam, **params)
+        decomposition = self.family_decomposition(fam, **params)
+        levels = self._family_levels(fam, decomposition, params)
+        if name == "levels":
+            return levels
+        if name == "totals":
+            return self._family_totals(fam, decomposition, params)
+        ordering = self._family_ordering(fam, levels, params)
+        if name == "ordering":
+            return ordering
+        if name == "level_totals":
+            return self._family_level_totals(fam, decomposition, levels, ordering, params)
+        if not fam.supports_triangles:
+            raise MetricRequirementError(
+                f"family {fam.name!r} does not support triangle-based artifacts"
+            )
+        if name == "triangles":
+            return self._family_triangle_charges(fam, ordering)
+        return self._family_level_triangles(fam, ordering)
+
+    # ------------------------------------------------------------------
+    # Problem 1, any family: level-set scores and the best level
+    # ------------------------------------------------------------------
+    def level_scores(self, family: str | HierarchyFamily, metric, **params) -> LevelSetScores:
+        """Scores of every level set of ``family`` under ``metric`` (memoized).
+
+        The index-backed twin of :func:`repro.engine.family_set_scores`:
+        same arithmetic, every intermediate served from the artifact cache.
+        """
+        fam = get_family(family)
+        metric = fam.resolve_metric(metric)
+        self._sync_token(fam, params)
+        cached = self._scores.get((fam.name, metric.name))
+        if cached is not None:
+            return cached
+        decomposition = self.family_decomposition(fam, **params)
+        levels = self._family_levels(fam, decomposition, params)
+        ordering = self._family_ordering(fam, levels, params)
+        totals = self._family_totals(fam, decomposition, params)
+        num_k, twice_in_k, out_k = self._family_level_totals(
+            fam, decomposition, levels, ordering, params
+        )
+        tri_k = trip_k = None
+        if fam.metric_requires_triangles(metric):
+            if not fam.supports_triangles:
+                raise MetricRequirementError(
+                    f"family {fam.name!r} does not support triangle-based metrics"
+                )
+            tri_k, trip_k = self._family_level_triangles(fam, ordering)
+        thresholds = fam.thresholds(decomposition, len(num_k) - 2, **params)
+        result = scores_from_level_totals(
+            metric, totals, num_k, twice_in_k, out_k, tri_k, trip_k,
+            make_values=fam.make_values, thresholds=thresholds,
+        )
+        self._scores[(fam.name, metric.name)] = result
+        return result
+
+    def best_level(self, family: str | HierarchyFamily, metric=None, **params) -> BestLevelResult:
+        """The best level of ``family`` under ``metric`` (Problem 1)."""
+        return best_level_set(self.graph, family, metric, index=self, **params)
+
+    def best_level_all_metrics(
+        self, family: str | HierarchyFamily, metrics: tuple[str, ...] | None = None, **params
+    ) -> dict[str, BestLevelResult]:
+        """Batch Problem 1 winners for one family, keyed by metric name.
+
+        ``metrics`` defaults to the family's
+        :attr:`~repro.engine.HierarchyFamily.batch_metrics`.
+        """
+        fam = get_family(family)
+        names = fam.batch_metrics if metrics is None else metrics
+        return {
+            fam.resolve_metric(m).name: self.best_level(fam, m, **params)
+            for m in names
+        }
+
+    # ------------------------------------------------------------------
+    # Core-family artifacts (Problem 2 needs the OrderedGraph + forest)
+    # ------------------------------------------------------------------
     @property
     def decomposition(self) -> CoreDecomposition:
         """The core decomposition (built on first use)."""
-        return self._get(
-            "decompose", lambda: core_decomposition(self.graph, backend=self.backend)
-        )
+        return self.family_decomposition("core")
 
     @property
     def ordered(self) -> OrderedGraph:
-        """Algorithm 1's rank-ordered adjacency with position tags."""
-        return self._get("order", lambda: order_vertices(self.graph, self.decomposition))
+        """Algorithm 1's rank-ordered adjacency with position tags.
+
+        ``core:ordering`` (the engine-facing
+        :class:`~repro.engine.levels.LevelOrdering`) is a zero-copy view of
+        this artifact via :func:`~repro.core.family.core_level_view`.
+        """
+        return self._get(
+            "core:order", lambda: order_vertices(self.graph, self.decomposition)
+        )
 
     @property
     def totals(self) -> GraphTotals:
         """Global graph totals consumed by the relative metrics."""
-        return self._get("totals", lambda: graph_totals(self.graph))
+        return self._get("core:totals", lambda: graph_totals(self.graph))
 
     @property
     def forest(self) -> CoreForest:
         """The core forest (built only when a single-core query needs it)."""
         return self._get(
-            "forest", lambda: build_core_forest(self.graph, self.decomposition)
+            "core:forest", lambda: build_core_forest(self.graph, self.decomposition)
         )
 
     @property
@@ -134,33 +371,22 @@ class BestKIndex:
         """Per-vertex min-rank triangle charges — the O(m^1.5) artifact.
 
         Only metrics with ``requires_triangles`` reach this; scoring the
-        O(m) metrics leaves it unbuilt.
+        O(m) metrics leaves it unbuilt.  Shared between the per-level
+        (Problem 1) and per-forest-node (Problem 2) aggregations.
         """
         return self._get(
-            "triangles",
+            "core:triangles",
             lambda: triangles_by_min_rank_vertex(self.ordered, backend=self.backend),
         )
 
-    def _shell_totals(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        return self._get("shell_totals", lambda: shell_accumulate(self.ordered))
-
-    def _shell_triangles(self) -> tuple[np.ndarray, np.ndarray]:
-        def build() -> tuple[np.ndarray, np.ndarray]:
-            tri_new, trip_new = triangle_triplet_by_shell(
-                self.ordered, backend=self.backend, charges=self.triangle_charges
-            )
-            return cumulate_from_top(tri_new), cumulate_from_top(trip_new)
-
-        return self._get("shell_triangles", build)
-
     def _node_totals(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         return self._get(
-            "node_totals", lambda: forest_base_totals(self.ordered, self.forest)
+            "core:node_totals", lambda: forest_base_totals(self.ordered, self.forest)
         )
 
     def _node_triangles(self) -> tuple[np.ndarray, np.ndarray]:
         return self._get(
-            "node_triangles",
+            "core:node_triangles",
             lambda: forest_triangle_totals(
                 self.ordered,
                 self.forest,
@@ -170,46 +396,30 @@ class BestKIndex:
         )
 
     # ------------------------------------------------------------------
-    # Problem 1: best k-core set
+    # Problem 1, core vocabulary: best k-core set
     # ------------------------------------------------------------------
-    def set_scores(self, metric: str | Metric) -> KCoreSetScores:
+    def set_scores(self, metric: str | Metric) -> LevelSetScores:
         """Scores of every k-core set under ``metric`` (memoized)."""
-        metric = get_metric(metric)
-        cached = self._set_scores.get(metric.name)
-        if cached is not None:
-            return cached
-        twice_in_k, out_k, num_k = self._shell_totals()
-        tri_k = trip_k = None
-        if metric.requires_triangles:
-            tri_k, trip_k = self._shell_triangles()
-        result = scores_from_shell_totals(
-            metric, self.totals, twice_in_k, out_k, num_k, tri_k, trip_k
-        )
-        self._set_scores[metric.name] = result
-        return result
+        return self.level_scores("core", metric)
 
-    def best_set(self, metric: str | Metric) -> BestKResult:
+    def best_set(self, metric: str | Metric) -> BestLevelResult:
         """The best k for the k-core set under ``metric`` (Problem 1)."""
-        metric = get_metric(metric)
-        scores = self.set_scores(metric)
-        k = scores.best_k()
-        members = np.sort(self.decomposition.kcore_set_vertices(k))
-        return BestKResult(metric.name, k, float(scores.scores[k]), scores, members)
+        return self.best_level("core", metric)
 
     def score_set_all_metrics(
         self, metrics: tuple[str, ...] = PAPER_METRICS
-    ) -> dict[str, KCoreSetScores]:
+    ) -> dict[str, LevelSetScores]:
         """Batch Problem 1: every metric scored from the one shared index."""
         return {get_metric(m).name: self.set_scores(m) for m in metrics}
 
     def best_set_all_metrics(
         self, metrics: tuple[str, ...] = PAPER_METRICS
-    ) -> dict[str, BestKResult]:
+    ) -> dict[str, BestLevelResult]:
         """Batch Problem 1 winners, keyed by canonical metric name."""
         return {get_metric(m).name: self.best_set(m) for m in metrics}
 
     # ------------------------------------------------------------------
-    # Problem 2: best single k-core
+    # Problem 2: best single (connected) k-core
     # ------------------------------------------------------------------
     def core_scores(self, metric: str | Metric) -> KCoreScores:
         """Scores of every connected k-core under ``metric`` (memoized)."""
@@ -255,82 +465,67 @@ class BestKIndex:
         return {get_metric(m).name: self.best_core(m) for m in metrics}
 
     # ------------------------------------------------------------------
-    # Extensions: truss and weighted variants
+    # Legacy extension vocabulary (thin wrappers over the family cache)
     # ------------------------------------------------------------------
     @property
     def truss_decomposition(self):
         """The truss decomposition (built only for truss queries)."""
-        from ..truss.decomposition import truss_decomposition as build
-
-        return self._get("truss", lambda: build(self.graph, backend=self.backend))
+        return self.family_decomposition("truss")
 
     @property
-    def truss_ordering(self):
+    def truss_ordering(self) -> LevelOrdering:
         """Level ordering over vertex truss levels (Algorithm 1 analogue)."""
-        from ..truss.levels import level_ordering as build
+        return self.artifact("truss", "ordering")
 
-        return self._get(
-            "truss_order",
-            lambda: build(self.graph, self.truss_decomposition.vertex_level),
-        )
-
-    def truss_set_scores(self, metric: str | Metric):
+    def truss_set_scores(self, metric: str | Metric) -> LevelSetScores:
         """Scores of every k-truss vertex set under ``metric`` (memoized)."""
-        from ..truss.levels import level_set_scores
-
-        metric = get_metric(metric)
-        cached = self._truss_scores.get(metric.name)
-        if cached is not None:
-            return cached
-        result = level_set_scores(
-            self.graph,
-            self.truss_decomposition.vertex_level,
-            metric,
-            ordering=self.truss_ordering,
-        )
-        self._truss_scores[metric.name] = result
-        return result
+        return self.level_scores("truss", metric)
 
     def weighted_decomposition(self, edge_weights: np.ndarray):
-        """The s-core decomposition for ``edge_weights`` (cached by identity).
+        """The s-core decomposition for ``edge_weights`` (cached by token).
 
-        One entry is kept: passing the same array object again is free,
-        passing a different one rebuilds (weighted queries almost always
-        reuse one weight vector per graph).
+        The weighted family's cache token is derived from the weight-array
+        identity (and quantisation): passing the same array object again is
+        free, passing a different one invalidates and rebuilds every
+        ``weighted:*`` artifact (weighted queries almost always reuse one
+        weight vector per graph).
         """
-        from ..weighted.decomposition import s_core_decomposition as build
-
-        if self._weighted is None or self._weighted[0] is not edge_weights:
-            start = time.perf_counter()
-            self._weighted = (edge_weights, build(self.graph, edge_weights))
-            self.build_seconds["weighted"] = time.perf_counter() - start
-        return self._weighted[1]
+        return self.family_decomposition("weighted", edge_weights=edge_weights)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def built_artifacts(self) -> tuple[str, ...]:
-        """Keys of the artifacts built so far (diagnostics and tests)."""
+        """``family:name`` keys of the artifacts built so far, sorted."""
         return tuple(sorted(self._artifacts))
 
-    def phase_seconds(self) -> dict[str, float]:
+    def built_families(self) -> tuple[str, ...]:
+        """Names of the families with at least one built artifact, sorted."""
+        return tuple(sorted({key.partition(":")[0] for key in self._artifacts}))
+
+    def phase_seconds(self, family: str | None = None) -> dict[str, float]:
         """Build time split into the paper's phases.
 
-        ``decompose`` / ``order`` / ``forest`` map to single artifacts;
-        ``triangles`` sums the charge pass and both triplet-delta passes;
-        everything else (totals, O(n) shell/node accumulations, truss and
-        weighted artifacts) lands in ``other``.
+        ``decompose`` / ``order`` / ``forest`` / ``triangles`` aggregate the
+        artifacts listed in ``_PHASE_BY_ARTIFACT``; everything else (levels,
+        totals, the O(n) suffix-sum accumulations) lands in ``other``.
+        Pass ``family`` to restrict the split to one family's artifacts;
+        the default aggregates across all families.
         """
-        named = {"decompose": "decompose", "order": "order", "forest": "forest"}
-        phases = {key: self.build_seconds.get(art, 0.0) for key, art in named.items()}
-        phases["triangles"] = sum(
-            self.build_seconds.get(key, 0.0) for key in _TRIANGLE_KEYS
-        )
-        accounted = set(named.values()) | set(_TRIANGLE_KEYS)
-        phases["other"] = sum(
-            t for key, t in self.build_seconds.items() if key not in accounted
-        )
+        phases = {
+            "decompose": 0.0, "order": 0.0, "forest": 0.0,
+            "triangles": 0.0, "other": 0.0,
+        }
+        for key, seconds in self.build_seconds.items():
+            fam, _, name = key.partition(":")
+            if family is not None and fam != family:
+                continue
+            phases[_PHASE_BY_ARTIFACT.get(name, "other")] += seconds
         return phases
+
+    def phase_seconds_by_family(self) -> dict[str, dict[str, float]]:
+        """Per-family :meth:`phase_seconds`, keyed by family name."""
+        return {fam: self.phase_seconds(fam) for fam in self.built_families()}
 
     def total_build_seconds(self) -> float:
         """Total wall seconds spent building artifacts so far."""

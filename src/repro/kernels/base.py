@@ -74,7 +74,7 @@ class KernelBackend:
 
         ``ordered`` is any rank-ordered adjacency with position tags — a
         :class:`repro.core.ordering.OrderedGraph` or
-        :class:`repro.truss.levels.LevelOrdering`; the kernel reads its
+        :class:`repro.engine.levels.LevelOrdering`; the kernel reads its
         ``graph``, ``indptr``, ``indices``, ``rank`` and ``high`` arrays.
         ``result[v]`` is the number of triangles whose minimum-rank corner
         is ``v``; O(m^1.5) total work under a degeneracy-compatible order.

@@ -7,6 +7,7 @@ from .bestk import (
     ktruss_set_scores,
 )
 from .decomposition import TrussDecomposition, truss_decomposition
+from .family import TrussFamily
 from .forest import (
     BestSingleTrussResult,
     TrussForest,
@@ -22,6 +23,7 @@ __all__ = [
     "LevelOrdering",
     "LevelSetScores",
     "TrussDecomposition",
+    "TrussFamily",
     "TrussForest",
     "TrussNode",
     "baseline_ktruss_set_scores",

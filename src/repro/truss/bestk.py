@@ -2,27 +2,27 @@
 
 The k-truss *vertex* set is ``{v : some incident edge has truss >= k}``;
 these sets nest exactly like k-core sets (truss numbers are monotone under
-containment), so the generalised level machinery of
-:mod:`repro.truss.levels` applies with the vertex truss level in the role
-of coreness.
+containment), so the generic hierarchy engine applies with the vertex
+truss level in the role of coreness.  Every entry point here is a thin
+shim delegating to :mod:`repro.engine` with the ``truss`` family,
+returning bit-identical results to the historic implementations.
 
 Scores are computed for the subgraph **induced by the k-truss vertex set**
-— the same vertex-set semantics as every other metric in this package.  A
-from-scratch baseline is included for benchmarking, mirroring Section
-III-A.
+— the same vertex-set semantics as every other family in this package.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
+from ..engine.family import (
+    BestLevelResult,
+    baseline_family_set_scores,
+    best_level_set,
+    family_set_scores,
+)
+from ..engine.levels import LevelSetScores
+from ..engine.metrics import Metric
 from ..graph.csr import Graph
-from ..core.metrics import Metric, get_metric
-from ..core.primary import graph_totals, primary_values
-from .decomposition import TrussDecomposition, truss_decomposition
-from .levels import LevelSetScores, level_set_scores
+from .decomposition import TrussDecomposition
 
 __all__ = [
     "BestTrussResult",
@@ -31,22 +31,8 @@ __all__ = [
     "best_ktruss_set",
 ]
 
-
-@dataclass(frozen=True)
-class BestTrussResult:
-    """Best k for the k-truss set under one metric."""
-
-    metric_name: str
-    k: int
-    score: float
-    scores: LevelSetScores
-    vertices: np.ndarray
-
-    def __repr__(self) -> str:
-        return (
-            f"BestTrussResult(metric={self.metric_name!r}, k={self.k}, "
-            f"score={self.score:.6g}, |V|={len(self.vertices)})"
-        )
+#: Historic name for the engine's best-level record.
+BestTrussResult = BestLevelResult
 
 
 def ktruss_set_scores(
@@ -63,11 +49,9 @@ def ktruss_set_scores(
     decomposition, the level ordering, and the per-metric scores on the
     index.  Results are identical.
     """
-    if index is not None:
-        return index.truss_set_scores(metric)
-    if decomposition is None:
-        decomposition = truss_decomposition(graph)
-    return level_set_scores(graph, decomposition.vertex_level, metric)
+    return family_set_scores(
+        graph, "truss", metric, decomposition=decomposition, index=index
+    )
 
 
 def baseline_ktruss_set_scores(
@@ -77,19 +61,7 @@ def baseline_ktruss_set_scores(
     decomposition: TrussDecomposition | None = None,
 ) -> LevelSetScores:
     """From-scratch baseline: recompute every k-truss set independently."""
-    metric = get_metric(metric)
-    if decomposition is None:
-        decomposition = truss_decomposition(graph)
-    totals = graph_totals(graph)
-    tmax = int(decomposition.vertex_level.max()) if graph.num_vertices else 0
-    values = []
-    scores = np.full(tmax + 1, np.nan)
-    for k in range(tmax + 1):
-        members = decomposition.ktruss_vertices(k) if k > 0 else np.arange(graph.num_vertices)
-        pv = primary_values(graph, members, count_triangles=metric.requires_triangles)
-        values.append(pv)
-        scores[k] = metric.score(pv, totals)
-    return LevelSetScores(metric, totals, scores, tuple(values))
+    return baseline_family_set_scores(graph, "truss", metric, decomposition=decomposition)
 
 
 def best_ktruss_set(
@@ -105,14 +77,6 @@ def best_ktruss_set(
     Passing a :class:`~repro.index.BestKIndex` as ``index`` reuses its
     cached truss artifacts.
     """
-    metric = get_metric(metric)
-    if index is not None:
-        decomposition = index.truss_decomposition
-        scores = index.truss_set_scores(metric)
-    else:
-        if decomposition is None:
-            decomposition = truss_decomposition(graph)
-        scores = ktruss_set_scores(graph, metric, decomposition=decomposition)
-    k = scores.best_k()
-    members = np.flatnonzero(decomposition.vertex_level >= k)
-    return BestTrussResult(metric.name, k, float(scores.scores[k]), scores, members)
+    return best_level_set(
+        graph, "truss", metric, decomposition=decomposition, index=index
+    )

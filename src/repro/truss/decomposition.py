@@ -14,7 +14,7 @@ standard support-peeling algorithm (Wang & Cheng, PVLDB 2012):
 We also derive each vertex's *truss level* ``max(t(e) for incident e)`` —
 the quantity that plays the role coreness plays in core decomposition when
 the best-k machinery is generalised to trusses (see
-:mod:`repro.truss.levels`).
+:mod:`repro.engine.levels` and :mod:`repro.truss.family`).
 """
 
 from __future__ import annotations

@@ -1,0 +1,34 @@
+"""The k-truss hierarchy family — Section VI-B's first named extension.
+
+Registers ``truss`` with the engine registry.  The vertex truss level
+(max truss number over incident edges) plays the level role; everything
+else is the engine's defaults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.family import HierarchyFamily, register_family
+from .decomposition import TrussDecomposition, truss_decomposition
+
+__all__ = ["TrussFamily"]
+
+
+class TrussFamily(HierarchyFamily):
+    """k-truss: level(v) = max edge truss number over v's incident edges."""
+
+    name = "truss"
+    title = "k-truss"
+    level_label = "k"
+    paper_section = "VI-B"
+    description = "maximal subgraphs where every edge closes >= k-2 triangles"
+
+    def decompose(self, graph, *, backend=None, **params) -> TrussDecomposition:
+        return truss_decomposition(graph, backend=backend)
+
+    def levels(self, decomposition: TrussDecomposition, **params) -> np.ndarray:
+        return decomposition.vertex_level
+
+
+register_family(TrussFamily())

@@ -25,8 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.csr import Graph
-from ..core.metrics import Metric, get_metric
-from ..core.primary import graph_totals, primary_values
+from ..engine.metrics import Metric, get_metric
+from ..engine.primary import graph_totals, primary_values
 from .decomposition import TrussDecomposition, truss_decomposition
 
 __all__ = ["TrussNode", "TrussForest", "build_truss_forest", "best_single_ktruss",

@@ -1,188 +1,20 @@
-"""Generalised best-k machinery for arbitrary vertex-level hierarchies.
+"""Deprecated location of the generalised level machinery.
 
-Paper Section VI-B observes that the optimal algorithms extend to any
-decomposition with the containment property: if ``level(v)`` is any integer
-labelling such that the "k-th subgraph" is induced by
-``{v : level(v) >= k}``, then the vertex ordering of Algorithm 1 and the
-incremental accumulation of Algorithms 2/3 go through verbatim with
-``level`` in place of coreness.
-
-This module implements exactly that generalisation:
-
-* :func:`level_ordering` — Algorithm 1 for an arbitrary level array
-  (coreness, vertex truss level, weighted-core level, ...);
-* :func:`level_set_scores` — the score of every level set, O(n) per metric
-  after the O(m) ordering (O(m^1.5) with triangle metrics).
-
-:mod:`repro.truss.bestk` instantiates it with truss levels; the test suite
-additionally instantiates it with coreness and checks it agrees with the
-specialised Algorithm 2/3 implementation.
+The shared Algorithm 1/2/3 generalisation that used to live here moved to
+:mod:`repro.engine.levels` when the hierarchy-engine layer was introduced
+(it was never truss-specific — the truss package merely hosted it first,
+and the k-ECC family had to reach across packages to use it).  This module
+re-exports the public names so existing imports keep working; new code
+should import from :mod:`repro.engine`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from ..graph.csr import Graph
-from ..core.metrics import Metric, get_metric
-from ..core.primary import GraphTotals, PrimaryValues, graph_totals
-from ..core.triangles import triangles_by_min_rank_vertex, triplet_group_deltas
+from ..engine.levels import (
+    LevelOrdering,
+    LevelSetScores,
+    level_ordering,
+    level_set_scores,
+)
 
 __all__ = ["LevelOrdering", "LevelSetScores", "level_ordering", "level_set_scores"]
-
-
-@dataclass(frozen=True)
-class LevelOrdering:
-    """Rank-ordered adjacency with position tags for a level function.
-
-    Structurally identical to :class:`repro.core.ordering.OrderedGraph`
-    (same attribute contract, consumed by the same triangle/triplet
-    helpers), but built from an arbitrary ``levels`` array.
-    """
-
-    graph: Graph
-    levels: np.ndarray
-    #: rank under the (level, id) total order.
-    rank: np.ndarray
-    indptr: np.ndarray
-    indices: np.ndarray
-    same: np.ndarray
-    plus: np.ndarray
-    high: np.ndarray
-    #: vertices sorted by ascending level (ties by id).
-    order: np.ndarray
-    #: ``order[level_start[k]:]`` = vertices with level >= k.
-    level_start: np.ndarray
-
-    @property
-    def max_level(self) -> int:
-        """Largest level value present."""
-        return len(self.level_start) - 2
-
-
-def level_ordering(graph: Graph, levels: np.ndarray) -> LevelOrdering:
-    """Algorithm 1 generalised to an arbitrary non-negative level array."""
-    levels = np.asarray(levels, dtype=np.int64)
-    n = graph.num_vertices
-    if len(levels) != n:
-        raise ValueError("levels must have one entry per vertex")
-    if len(levels) and levels.min() < 0:
-        raise ValueError("levels must be non-negative")
-
-    order = np.argsort(levels, kind="stable").astype(np.int64)
-    rank = np.empty(n, dtype=np.int64)
-    rank[order] = np.arange(n, dtype=np.int64)
-
-    max_level = int(levels.max()) if n else 0
-    counts = np.bincount(levels, minlength=max_level + 1) if n else np.zeros(1, np.int64)
-    level_start = np.zeros(max_level + 2, dtype=np.int64)
-    np.cumsum(counts, out=level_start[1:])
-
-    degrees = graph.degrees()
-    dst = np.repeat(np.arange(n, dtype=np.int64), degrees)
-    src = graph.indices
-    perm = np.lexsort((rank[src], dst))
-    indices = np.ascontiguousarray(src[perm])
-    rows = dst[perm]
-    nbr_level = levels[indices]
-    own_level = levels[rows]
-
-    def tag(mask: np.ndarray) -> np.ndarray:
-        return np.bincount(rows[mask], minlength=n).astype(np.int64)
-
-    return LevelOrdering(
-        graph=graph,
-        levels=levels,
-        rank=rank,
-        indptr=graph.indptr.copy(),
-        indices=indices,
-        same=tag(nbr_level < own_level),
-        plus=tag(nbr_level <= own_level),
-        high=tag(rank[indices] < rank[rows]),
-        order=order,
-        level_start=level_start,
-    )
-
-
-@dataclass(frozen=True)
-class LevelSetScores:
-    """Scores of every level set ``S_k = G[{v : level(v) >= k}]``."""
-
-    metric: Metric
-    totals: GraphTotals
-    scores: np.ndarray
-    values: tuple[PrimaryValues, ...]
-
-    @property
-    def max_level(self) -> int:
-        """Largest level with a defined (possibly empty) set."""
-        return len(self.scores) - 1
-
-    def best_k(self) -> int:
-        """Argmax of the scores; ties broken towards the largest k."""
-        finite = ~np.isnan(self.scores)
-        if not finite.any():
-            raise ValueError("no non-empty level set to choose from")
-        best = np.nanmax(self.scores)
-        return int(np.flatnonzero(finite & (self.scores == best)).max())
-
-
-def level_set_scores(
-    graph: Graph,
-    levels: np.ndarray,
-    metric: str | Metric,
-    *,
-    ordering: LevelOrdering | None = None,
-) -> LevelSetScores:
-    """Score every level set with the generalised Algorithm 2 / 3."""
-    metric = get_metric(metric)
-    if ordering is None:
-        ordering = level_ordering(graph, levels)
-    totals = graph_totals(graph)
-    n = graph.num_vertices
-    max_level = ordering.max_level
-
-    deg = np.diff(ordering.indptr)
-    n_lt = ordering.same
-    n_eq = ordering.plus - ordering.same
-    n_gt = deg - ordering.plus
-    order = ordering.order
-    suffix_in = np.concatenate([np.cumsum((2 * n_gt + n_eq)[order][::-1])[::-1], [0]])
-    suffix_out = np.concatenate([np.cumsum((n_lt - n_gt)[order][::-1])[::-1], [0]])
-    starts = ordering.level_start[: max_level + 2]
-    twice_in_k = suffix_in[starts]
-    out_k = suffix_out[starts]
-    num_k = n - starts
-
-    tri_k = trip_k = None
-    if metric.requires_triangles:
-        charges = triangles_by_min_rank_vertex(ordering)
-        shells = [
-            order[ordering.level_start[k]:ordering.level_start[k + 1]]
-            for k in range(max_level, -1, -1)
-        ]
-        trip_deltas = triplet_group_deltas(ordering, shells)
-        tri_new = np.zeros(max_level + 1, dtype=np.int64)
-        trip_new = np.zeros(max_level + 1, dtype=np.int64)
-        for i, k in enumerate(range(max_level, -1, -1)):
-            if len(shells[i]):
-                tri_new[k] = int(charges[shells[i]].sum())
-            trip_new[k] = trip_deltas[i]
-        tri_k = np.concatenate([np.cumsum(tri_new[::-1])[::-1], [0]])
-        trip_k = np.concatenate([np.cumsum(trip_new[::-1])[::-1], [0]])
-
-    values = []
-    scores = np.full(max_level + 1, np.nan)
-    for k in range(max_level + 1):
-        pv = PrimaryValues(
-            num_vertices=int(num_k[k]),
-            num_edges=int(twice_in_k[k]) // 2,
-            num_boundary=int(out_k[k]),
-            num_triangles=None if tri_k is None else int(tri_k[k]),
-            num_triplets=None if trip_k is None else int(trip_k[k]),
-        )
-        values.append(pv)
-        scores[k] = metric.score(pv, totals)
-    return LevelSetScores(metric, totals, scores, tuple(values))

@@ -13,6 +13,7 @@ from .bestk import (
     s_core_set_scores,
 )
 from .decomposition import WeightedDecomposition, arc_weights, s_core_decomposition
+from .family import WeightedFamily, weight_charges
 from .metrics import (
     WeightedMetric,
     WeightedPrimaryValues,
@@ -25,6 +26,7 @@ __all__ = [
     "BestSCoreResult",
     "SCoreSetScores",
     "WeightedDecomposition",
+    "WeightedFamily",
     "WeightedMetric",
     "WeightedPrimaryValues",
     "WeightedTotals",
@@ -35,4 +37,5 @@ __all__ = [
     "get_weighted_metric",
     "s_core_decomposition",
     "s_core_set_scores",
+    "weight_charges",
 ]

@@ -1,33 +1,29 @@
 """Best s for the s-core set — the weighted best-k problem.
 
 The unweighted machinery accumulates per-vertex *edge-count* charges by
-level; here the charges are *weight sums*.  Because the level sets of the
-weighted decomposition nest exactly like k-core sets, one top-down pass
-over the (quantised) levels scores every s-core set in O(n + L) after an
-O(m) preparation, mirroring Algorithm 2:
-
-* ``w_gt(v)`` — weight towards neighbours of strictly higher level joins
-  the internal weight when v's level is reached (doubling avoided exactly
-  as in the paper: equal-level weight is charged half per endpoint);
-* ``w_lt(v) - w_gt(v)`` updates the boundary weight.
-
-A from-scratch baseline is included for verification and benchmarking.
+level; here the charges are *weight sums* (see
+:class:`repro.weighted.family.WeightedFamily`).  Because the level sets of
+the weighted decomposition nest exactly like k-core sets, the generic
+hierarchy engine scores every (quantised) s-core set in O(n + L) after an
+O(m) preparation, mirroring Algorithm 2.  Every entry point here is a
+thin shim delegating to :mod:`repro.engine` with the ``weighted`` family,
+returning bit-identical results to the historic implementations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from ..graph.csr import Graph
-from .decomposition import WeightedDecomposition, arc_weights, s_core_decomposition
-from .metrics import (
-    WeightedMetric,
-    WeightedPrimaryValues,
-    WeightedTotals,
-    get_weighted_metric,
+from ..engine.family import (
+    BestLevelResult,
+    baseline_family_set_scores,
+    best_level_set,
+    family_set_scores,
 )
+from ..engine.levels import LevelSetScores
+from ..graph.csr import Graph
+from .decomposition import WeightedDecomposition
+from .metrics import WeightedMetric
 
 __all__ = [
     "SCoreSetScores",
@@ -37,63 +33,10 @@ __all__ = [
     "best_s_core_set",
 ]
 
-
-@dataclass(frozen=True)
-class SCoreSetScores:
-    """Scores of every quantised s-core set."""
-
-    metric: WeightedMetric
-    totals: WeightedTotals
-    #: ``scores[k]`` for integer level k (see ``thresholds``).
-    scores: np.ndarray
-    values: tuple[WeightedPrimaryValues, ...]
-    #: Strength threshold of each integer level.
-    thresholds: np.ndarray
-
-    def best_level(self) -> int:
-        """Argmax over the integer levels, ties towards the largest."""
-        finite = ~np.isnan(self.scores)
-        if not finite.any():
-            raise ValueError("no non-empty s-core set to choose from")
-        best = np.nanmax(self.scores)
-        return int(np.flatnonzero(finite & (self.scores == best)).max())
-
-
-@dataclass(frozen=True)
-class BestSCoreResult:
-    """The best strength threshold for one weighted metric."""
-
-    metric_name: str
-    #: Strength threshold whose s-core set wins.
-    s: float
-    score: float
-    scores: SCoreSetScores
-    vertices: np.ndarray
-
-    def __repr__(self) -> str:
-        return (
-            f"BestSCoreResult(metric={self.metric_name!r}, s={self.s:.4g}, "
-            f"score={self.score:.6g}, |V|={len(self.vertices)})"
-        )
-
-
-def _weight_charges(
-    graph: Graph, decomposition: WeightedDecomposition, levels: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Per-vertex (2*inside, boundary) weight contributions at its level."""
-    n = graph.num_vertices
-    weights = arc_weights(graph, decomposition.edge_weights)
-    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
-    dst = graph.indices
-    gt = levels[dst] > levels[src]
-    eq = levels[dst] == levels[src]
-    lt = levels[dst] < levels[src]
-    w_gt = np.bincount(src[gt], weights=weights[gt], minlength=n)
-    w_eq = np.bincount(src[eq], weights=weights[eq], minlength=n)
-    w_lt = np.bincount(src[lt], weights=weights[lt], minlength=n)
-    twice_inside = 2.0 * w_gt + w_eq
-    boundary = w_lt - w_gt
-    return twice_inside, boundary
+#: Historic names for the engine's records (``best_level``/``thresholds``
+#: and the ``s`` threshold accessor intact).
+SCoreSetScores = LevelSetScores
+BestSCoreResult = BestLevelResult
 
 
 def s_core_set_scores(
@@ -111,41 +54,11 @@ def s_core_set_scores(
     precedence over ``decomposition``) reuses the s-core decomposition
     cached on the index for these ``edge_weights``.
     """
-    metric = get_weighted_metric(metric)
-    if index is not None:
-        decomposition = index.weighted_decomposition(edge_weights)
-    elif decomposition is None:
-        decomposition = s_core_decomposition(graph, edge_weights)
-    levels = decomposition.integer_levels(num_levels)
-    max_level = int(levels.max()) if len(levels) else 0
-
-    totals = WeightedTotals(
-        graph.num_vertices, float(np.asarray(edge_weights, dtype=np.float64).sum())
+    return family_set_scores(
+        graph, "weighted", metric,
+        decomposition=decomposition, index=index,
+        edge_weights=edge_weights, num_levels=num_levels,
     )
-    twice_inside, boundary = _weight_charges(graph, decomposition, levels)
-
-    order = np.argsort(levels, kind="stable")
-    counts = np.bincount(levels, minlength=max_level + 1)
-    starts = np.zeros(max_level + 2, dtype=np.int64)
-    np.cumsum(counts, out=starts[1:])
-    suffix_in = np.concatenate([np.cumsum(twice_inside[order][::-1])[::-1], [0.0]])
-    suffix_b = np.concatenate([np.cumsum(boundary[order][::-1])[::-1], [0.0]])
-
-    values = []
-    scores = np.full(max_level + 1, np.nan)
-    thresholds = np.asarray([
-        decomposition.threshold_of_integer_level(k, num_levels)
-        for k in range(max_level + 1)
-    ])
-    for k in range(max_level + 1):
-        pv = WeightedPrimaryValues(
-            num_vertices=int(graph.num_vertices - starts[k]),
-            weight_inside=float(suffix_in[starts[k]]) / 2.0,
-            weight_boundary=max(float(suffix_b[starts[k]]), 0.0),
-        )
-        values.append(pv)
-        scores[k] = metric.score(pv, totals)
-    return SCoreSetScores(metric, totals, scores, tuple(values), thresholds)
 
 
 def baseline_s_core_set_scores(
@@ -157,36 +70,11 @@ def baseline_s_core_set_scores(
     num_levels: int = 64,
 ) -> SCoreSetScores:
     """From-scratch verification baseline: rescan every level set."""
-    metric = get_weighted_metric(metric)
-    if decomposition is None:
-        decomposition = s_core_decomposition(graph, edge_weights)
-    levels = decomposition.integer_levels(num_levels)
-    max_level = int(levels.max()) if len(levels) else 0
-    totals = WeightedTotals(
-        graph.num_vertices, float(np.asarray(edge_weights, dtype=np.float64).sum())
+    return baseline_family_set_scores(
+        graph, "weighted", metric,
+        decomposition=decomposition,
+        edge_weights=edge_weights, num_levels=num_levels,
     )
-    weights = arc_weights(graph, decomposition.edge_weights)
-    n = graph.num_vertices
-    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
-    dst = graph.indices
-
-    values = []
-    scores = np.full(max_level + 1, np.nan)
-    thresholds = np.asarray([
-        decomposition.threshold_of_integer_level(k, num_levels)
-        for k in range(max_level + 1)
-    ])
-    for k in range(max_level + 1):
-        inside_mask = (levels[src] >= k) & (levels[dst] >= k)
-        boundary_mask = (levels[src] >= k) != (levels[dst] >= k)
-        pv = WeightedPrimaryValues(
-            num_vertices=int((levels >= k).sum()),
-            weight_inside=float(weights[inside_mask].sum()) / 2.0,
-            weight_boundary=float(weights[boundary_mask].sum()) / 2.0,
-        )
-        values.append(pv)
-        scores[k] = metric.score(pv, totals)
-    return SCoreSetScores(metric, totals, scores, tuple(values), thresholds)
 
 
 def best_s_core_set(
@@ -199,20 +87,14 @@ def best_s_core_set(
 ) -> BestSCoreResult:
     """Find the strength threshold whose s-core set maximises ``metric``.
 
-    Passing a :class:`~repro.index.BestKIndex` as ``index`` reuses the
-    s-core decomposition cached on the index for these ``edge_weights``.
+    The result's ``s`` is the real-valued strength threshold of the winning
+    quantised level; membership comes from the integer levels, i.e. exactly
+    the scored set (avoids float-boundary mismatches with the raw
+    threshold).  Passing a :class:`~repro.index.BestKIndex` as ``index``
+    reuses the s-core decomposition cached on the index for these
+    ``edge_weights``.
     """
-    metric = get_weighted_metric(metric)
-    if index is not None:
-        decomposition = index.weighted_decomposition(edge_weights)
-    else:
-        decomposition = s_core_decomposition(graph, edge_weights)
-    scores = s_core_set_scores(
-        graph, edge_weights, metric, decomposition=decomposition, num_levels=num_levels
+    return best_level_set(
+        graph, "weighted", metric,
+        index=index, edge_weights=edge_weights, num_levels=num_levels,
     )
-    k = scores.best_level()
-    threshold = float(scores.thresholds[k])
-    # Membership from the integer levels, i.e. exactly the scored set
-    # (avoids float-boundary mismatches with the raw threshold).
-    members = np.flatnonzero(decomposition.integer_levels(num_levels) >= k)
-    return BestSCoreResult(metric.name, threshold, float(scores.scores[k]), scores, members)

@@ -127,14 +127,14 @@ def _count_calls(monkeypatch, name: str) -> list:
     return calls
 
 
+#: Module-level builders the index must run at most once.  Generic family
+#: artifacts (decompose, totals, level accumulations) route through
+#: :class:`repro.engine.HierarchyFamily` hooks and are covered by the
+#: artifact-cache assertions instead.
 BUILDERS = (
-    "core_decomposition",
     "order_vertices",
-    "graph_totals",
     "build_core_forest",
     "triangles_by_min_rank_vertex",
-    "shell_accumulate",
-    "triangle_triplet_by_shell",
     "forest_base_totals",
     "forest_triangle_totals",
 )
@@ -163,7 +163,7 @@ class TestLaziness:
             index.set_scores(metric)
             index.core_scores(metric)
         assert tri_calls == []
-        assert "triangles" not in index.built_artifacts()
+        assert "core:triangles" not in index.built_artifacts()
         # First triangle metric triggers exactly one charging pass, reused
         # by both the shell and the forest aggregation.
         index.set_scores("clustering_coefficient")
@@ -173,7 +173,7 @@ class TestLaziness:
     def test_set_queries_never_build_forest(self, graph):
         index = BestKIndex(graph)
         index.score_set_all_metrics(PAPER_METRICS)
-        assert "forest" not in index.built_artifacts()
+        assert "core:forest" not in index.built_artifacts()
 
     def test_build_seconds_cover_built_artifacts(self, index):
         index.set_scores("clustering_coefficient")
@@ -181,7 +181,7 @@ class TestLaziness:
         assert all(t >= 0.0 for t in index.build_seconds.values())
         phases = index.phase_seconds()
         assert phases["forest"] == 0.0
-        assert phases["triangles"] > 0.0 or index.build_seconds["triangles"] == 0.0
+        assert phases["triangles"] > 0.0 or index.build_seconds["core:triangles"] == 0.0
         assert index.total_build_seconds() == pytest.approx(
             sum(index.build_seconds.values())
         )
