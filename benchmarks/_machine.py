@@ -12,9 +12,24 @@ import sys
 
 import numpy as np
 
+from repro.bench.harness import execution_metadata
 
-def machine_metadata(backend_name: str) -> dict:
-    """Environment facts that make cross-machine trajectory comparisons sane."""
+
+def machine_metadata(
+    backend_name: str,
+    *,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    cache_state: str | None = None,
+) -> dict:
+    """Environment facts that make cross-machine trajectory comparisons sane.
+
+    The ``execution`` block (worker count, shared-memory availability,
+    cache directory and temperature) comes from
+    :func:`repro.bench.harness.execution_metadata`; scripts that phase
+    through several configurations pass the run-level default here and
+    stamp per-phase values next to the numbers themselves.
+    """
     return {
         "backend": backend_name,
         "python_version": platform.python_version(),
@@ -23,4 +38,7 @@ def machine_metadata(backend_name: str) -> dict:
         "machine": platform.machine(),
         "numpy_version": np.__version__,
         "argv": sys.argv[1:],
+        "execution": execution_metadata(
+            jobs=jobs, cache_dir=cache_dir, cache_state=cache_state
+        ),
     }

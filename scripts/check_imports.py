@@ -12,6 +12,10 @@ Layering (DESIGN.md, engine section):
 * family packages (``repro.core``, ``repro.truss``, ``repro.weighted``,
   ``repro.ecc``) — may depend on ``engine``, ``kernels``, ``graph``,
   ``errors``, ``generators`` — and NEVER on each other.
+* ``repro.parallel`` — execution plumbing above the foundation but below
+  the index: may use ``graph``/``errors``, must not import the engine, a
+  family package, or anything higher (families never fan themselves out;
+  only ``repro.index`` and the apps layer schedule work).
 * everything else (``index``, ``apps``, ``bench``, ``cli``, ...) — higher
   layers, unconstrained.
 
@@ -38,14 +42,15 @@ FAMILY_PACKAGES = ("core", "truss", "weighted", "ecc")
 
 #: subpackage -> the repro subpackages it must never import.
 FORBIDDEN: dict[str, tuple[str, ...]] = {
-    "graph": ("engine", "index", "apps", "bench", "cli") + FAMILY_PACKAGES,
-    "errors": ("engine", "index", "apps", "bench", "cli") + FAMILY_PACKAGES,
-    "kernels": ("engine", "index", "apps", "bench", "cli") + FAMILY_PACKAGES,
-    "engine": FAMILY_PACKAGES + ("index", "apps", "bench", "cli"),
+    "graph": ("engine", "parallel", "index", "apps", "bench", "cli") + FAMILY_PACKAGES,
+    "errors": ("engine", "parallel", "index", "apps", "bench", "cli") + FAMILY_PACKAGES,
+    "kernels": ("engine", "parallel", "index", "apps", "bench", "cli") + FAMILY_PACKAGES,
+    "engine": FAMILY_PACKAGES + ("parallel", "index", "apps", "bench", "cli"),
+    "parallel": FAMILY_PACKAGES + ("engine", "index", "apps", "bench", "cli"),
 }
 for _family in FAMILY_PACKAGES:
     FORBIDDEN[_family] = tuple(f for f in FAMILY_PACKAGES if f != _family) + (
-        "index", "apps", "bench", "cli",
+        "parallel", "index", "apps", "bench", "cli",
     )
 
 

@@ -15,6 +15,7 @@ from ..engine import BestLevelResult, available_families, get_family
 from ..errors import ReproError
 from ..graph.csr import Graph
 from ..index import BestKIndex
+from ..parallel import resolve_jobs
 
 __all__ = ["best_sets_by_family"]
 
@@ -27,6 +28,8 @@ def best_sets_by_family(
     family_params: dict[str, dict] | None = None,
     index: BestKIndex | None = None,
     backend=None,
+    jobs: int | None = None,
+    store=None,
 ) -> dict[str, BestLevelResult]:
     """The best level set of each registered family, from one shared index.
 
@@ -49,6 +52,12 @@ def best_sets_by_family(
     index:
         A prebuilt :class:`~repro.index.BestKIndex` to reuse; one is
         created (and shared across the families) otherwise.
+    jobs / store:
+        Forwarded to the created :class:`~repro.index.BestKIndex`; with
+        more than one worker the per-family builds are prebuilt in
+        parallel (one worker per family artifact group) before the serial
+        scoring sweep.  Ignored when ``index`` is supplied — configure the
+        index itself instead.
 
     Returns
     -------
@@ -56,9 +65,21 @@ def best_sets_by_family(
         ``family name -> BestLevelResult`` for every family that ran.
     """
     if index is None:
-        index = BestKIndex(graph, backend=backend)
+        index = BestKIndex(graph, backend=backend, jobs=jobs, store=store)
+    run = tuple(families if families is not None else available_families())
+    # Plan exactly the metric the sweep will score (each family's default
+    # when unspecified) so the prebuild never drags in the triangle pass
+    # for a metric nobody asked about.
+    metrics = {
+        name: (metric if metric is not None else get_family(name).default_metric,)
+        for name in run
+    }
+    if resolve_jobs(index.jobs) > 1:
+        # The cross-family sweep is the natural fan-out unit: every family's
+        # decompose/ordering/accumulate chain is independent of the others.
+        index.prebuild(run, metrics=metrics, family_params=family_params)
     results: dict[str, BestLevelResult] = {}
-    for name in families if families is not None else available_families():
+    for name in run:
         fam = get_family(name)
         params = dict((family_params or {}).get(fam.name, {}))
         try:

@@ -17,7 +17,46 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-__all__ = ["Timer", "time_call", "RunRecord", "TimeBudget", "format_seconds"]
+__all__ = [
+    "Timer",
+    "time_call",
+    "RunRecord",
+    "TimeBudget",
+    "execution_metadata",
+    "format_seconds",
+]
+
+
+def execution_metadata(
+    *,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    cache_state: str | None = None,
+) -> dict:
+    """Parallel/cache execution facts stamped into every ``BENCH_*.json``.
+
+    A benchmark number is only interpretable next to the worker count and
+    cache state that produced it: a warm-cache or 8-worker run is not
+    comparable to a cold serial one.  Records the resolved worker count
+    (``jobs`` argument or ``REPRO_JOBS``), the shared-memory availability,
+    the artifact-cache directory (argument or ``REPRO_CACHE_DIR``) and the
+    cache temperature — ``"off"`` without a cache, else the caller's
+    ``cache_state`` (``"cold"`` / ``"warm"``), or ``"unknown"`` when the
+    caller did not track it.
+    """
+    from ..parallel import resolve_jobs, shm_available
+
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip() or None
+    if cache_state is None:
+        cache_state = "off" if cache_dir is None else "unknown"
+    return {
+        "jobs": resolve_jobs(jobs),
+        "cpu_count": os.cpu_count() or 1,
+        "shm_available": shm_available(),
+        "cache_dir": None if cache_dir is None else str(cache_dir),
+        "cache_state": cache_state,
+    }
 
 
 class Timer:

@@ -16,9 +16,16 @@ Installed as the ``bestk`` console script (also ``python -m repro``):
 * ``bestk experiment NAME``            — regenerate a paper table/figure
 * ``bestk report [--out DIR]``         — all experiments into one REPORT.md
 * ``bestk datasets``                   — list the stand-in registry
+* ``bestk cache {ls,clear,warm}``      — manage the persistent artifact cache
 
 ``GRAPH`` is either an edge-list path (gzip OK) or ``dataset:KEY`` for a
 registry stand-in (e.g. ``dataset:DBLP``).
+
+The index-backed commands (``set``/``core``/``truss``, ``cache warm``)
+accept ``--jobs N`` (parallel prebuild; ``REPRO_JOBS`` is the default)
+and ``--cache-dir PATH`` (persistent artifact cache; ``REPRO_CACHE_DIR``
+is the default).  Every exit path — success, error, Ctrl-C — releases any
+shared-memory segments the parallel layer created.
 """
 
 from __future__ import annotations
@@ -72,6 +79,19 @@ def _load_graph(spec: str) -> Graph:
     return load_edge_list(spec).graph
 
 
+def _index_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the index prebuild "
+             "(default: REPRO_JOBS or serial; 0 means all cores)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="persistent artifact cache directory "
+             "(default: REPRO_CACHE_DIR, or no cache)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="bestk",
@@ -102,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--all-metrics", action="store_true",
             help="report every one of the family's batch metrics instead of one",
         )
+        _index_args(p)
         if name == "set":
             p.add_argument(
                 "--family", default="core",
@@ -145,6 +166,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated subset of experiment names")
 
     sub.add_parser("datasets", help="list the dataset stand-in registry")
+
+    p = sub.add_parser("cache", help="manage the persistent artifact cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    pc = cache_sub.add_parser("ls", help="list cached bundles")
+    pc.add_argument("--cache-dir", default=None,
+                    help="cache directory (default: REPRO_CACHE_DIR)")
+    pc = cache_sub.add_parser("clear", help="delete every cached bundle")
+    pc.add_argument("--cache-dir", default=None,
+                    help="cache directory (default: REPRO_CACHE_DIR)")
+    pc = cache_sub.add_parser(
+        "warm", help="prebuild a graph's artifacts into the cache"
+    )
+    graph_arg(pc)
+    pc.add_argument(
+        "--family", action="append", default=None,
+        help="family to warm (repeatable; default: core and truss)",
+    )
+    _index_args(pc)
     return parser
 
 
@@ -165,16 +204,20 @@ def _cmd_bestk(args, which: str) -> int:
     import time
 
     from .index import BestKIndex
+    from .parallel import resolve_jobs
 
     graph = _load_graph(args.graph)
     # One shared index across every metric: expensive artifacts (peeling,
     # ordering, forest, triangle charges) are built once and reused, which
-    # is the whole point of --all-metrics.
-    index = BestKIndex(graph)
+    # is the whole point of --all-metrics.  --jobs prebuilds them across
+    # worker processes; --cache-dir persists them for the next invocation.
+    index = BestKIndex(graph, jobs=args.jobs, store=args.cache_dir or None)
     start = time.perf_counter()
     if which == "core":
         # Problem 2 stays core-specific (Algorithm 5 over the core forest).
         metrics = PAPER_METRICS if args.all_metrics else (args.metric or "average_degree",)
+        if resolve_jobs(index.jobs) > 1:
+            index.prebuild(("core",), metrics=tuple(metrics), problem2=True)
         for metric in metrics:
             result = best_single_kcore(graph, metric, index=index)
             print(
@@ -200,6 +243,11 @@ def _cmd_bestk(args, which: str) -> int:
             family.batch_metrics if args.all_metrics
             else (args.metric or family.default_metric,)
         )
+        if resolve_jobs(index.jobs) > 1:
+            index.prebuild(
+                (family.name,), metrics=tuple(metrics),
+                family_params={family.name: params},
+            )
         for metric in metrics:
             result = index.best_level(family, metric, **params)
             print(
@@ -276,6 +324,46 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from .index.store import resolve_store
+
+    store = resolve_store(args.cache_dir or None)
+    if store is None:
+        print(
+            "error: no cache directory (pass --cache-dir or set REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.cache_command == "ls":
+        bundles = store.bundles()
+        for info in bundles:
+            print(
+                f"{info.key:34s} n={info.num_vertices:<9,d} m={info.num_edges:<11,d} "
+                f"backend={info.backend:10s} {info.nbytes / 1024:9.1f} KiB  "
+                f"[{', '.join(info.artifacts)}]"
+            )
+        total = sum(info.nbytes for info in bundles)
+        print(f"{len(bundles)} bundle(s), {total / 1024:.1f} KiB in {store.root}")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} bundle(s) from {store.root}")
+        return 0
+    # warm: prebuild every persistable artifact (batch metrics, so the
+    # triangle pass is included, plus the Problem 2 forest for core) so
+    # later queries start hot.
+    from .index import BestKIndex
+
+    graph = _load_graph(args.graph)
+    families = tuple(args.family) if args.family else ("core", "truss")
+    index = BestKIndex(graph, jobs=args.jobs, store=store)
+    built = index.prebuild(families, problem2=True)
+    for name, artifacts in built.items():
+        print(f"warmed {name}: {', '.join(artifacts)}")
+    print(f"cache at {store.root}: {len(store.bundles())} bundle(s)")
+    return 0
+
+
 def _cmd_datasets(_args) -> int:
     for spec in DATASETS:
         paper = spec.paper
@@ -313,9 +401,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 0
         if args.command == "datasets":
             return _cmd_datasets(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     except (ReproError, FileNotFoundError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        # Every exit path — success, error, Ctrl-C — releases any
+        # shared-memory segments the parallel prebuild created (the
+        # atexit hook in repro.parallel is the backstop for harder
+        # deaths).
+        from .parallel import cleanup_shared_memory
+
+        cleanup_shared_memory()
     return 2
 
 

@@ -51,6 +51,7 @@ class CoreFamily(HierarchyFamily):
     level_label = "k"
     paper_section = "III-IV"
     description = "maximal subgraphs where every vertex keeps degree >= k"
+    supports_store = True
 
     def decompose(self, graph, *, backend=None, **params) -> CoreDecomposition:
         return core_decomposition(graph, backend=backend)
@@ -62,6 +63,14 @@ class CoreFamily(HierarchyFamily):
         # The index already holds (or will lazily build) the Algorithm 1
         # ordering for Problem 2; reuse it rather than re-sorting the arcs.
         return core_level_view(index.ordered)
+
+    def dump_decomposition(self, decomposition: CoreDecomposition):
+        # order/shell_start are derived in __post_init__, peel_order is
+        # lazy; the coreness array alone reconstructs everything.
+        return {"coreness": decomposition.coreness}
+
+    def load_decomposition(self, graph, arrays, **params) -> CoreDecomposition:
+        return CoreDecomposition(graph, np.asarray(arrays["coreness"]))
 
 
 register_family(CoreFamily())

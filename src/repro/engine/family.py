@@ -89,6 +89,10 @@ class HierarchyFamily:
     default_metric: str = "average_degree"
     #: Metrics iterated by the cross-metric batch APIs / ``--all-metrics``.
     batch_metrics: tuple[str, ...] = PAPER_METRICS
+    #: Whether the family implements the persistence hooks
+    #: (:meth:`dump_decomposition` / :meth:`load_decomposition`) and may
+    #: therefore be written to / hydrated from an on-disk artifact store.
+    supports_store: bool = False
 
     # -- abstract hooks -------------------------------------------------
 
@@ -164,6 +168,41 @@ class HierarchyFamily:
         edge-weight array and quantisation so the index can invalidate.
         """
         return None
+
+    # -- persistence hooks ------------------------------------------------
+
+    def store_token(self, **params) -> str | None:
+        """Cross-process identity of the parametrisation for the disk store.
+
+        Unlike :meth:`cache_token` — which may use cheap object identity,
+        valid only within one process — this must be *content-based* and
+        stable across processes and runs: it is hashed into the on-disk
+        bundle key by :mod:`repro.index.store`.  ``None`` means the
+        family's artifacts depend only on the graph.
+        """
+        return None
+
+    def dump_decomposition(self, decomposition) -> dict[str, np.ndarray] | None:
+        """Arrays that reconstruct :meth:`decompose`'s result, or ``None``.
+
+        Families with ``supports_store`` return a ``{field: array}`` dict
+        (all fields 1-D/2-D numpy arrays); the default ``None`` keeps a
+        family in-memory only — the store and the parallel payloads then
+        skip it silently.
+        """
+        return None
+
+    def load_decomposition(self, graph, arrays: dict[str, np.ndarray], **params):
+        """Rebuild a decomposition from :meth:`dump_decomposition` arrays.
+
+        ``arrays`` may hold read-only memory maps; implementations must not
+        write into them.  ``**params`` carries the family parametrisation
+        for state not stored on disk (the weighted family's
+        ``edge_weights``).
+        """
+        raise NotImplementedError(
+            f"family {self.name!r} does not support persisted decompositions"
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

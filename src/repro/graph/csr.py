@@ -24,6 +24,7 @@ cleans the input and remembers the label mapping.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -48,7 +49,7 @@ class Graph:
         ``False`` only for arrays produced by trusted internal code.
     """
 
-    __slots__ = ("_indptr", "_indices", "_degrees")
+    __slots__ = ("_indptr", "_indices", "_degrees", "_digest")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
@@ -63,6 +64,9 @@ class Graph:
         # and int64 diff of indptr is already the canonical dtype.
         self._degrees = np.diff(indptr)
         self._degrees.setflags(write=False)
+        # Content digest is lazy: hashing is O(m) and most graphs are never
+        # used as a persistent-cache key.
+        self._digest: str | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -111,6 +115,17 @@ class Graph:
         np.add.at(indptr, src + 1, 1)
         np.cumsum(indptr, out=indptr)
         return cls(indptr, dst, validate=False)
+
+    @classmethod
+    def from_arrays(cls, indptr: np.ndarray, indices: np.ndarray, validate: bool = True) -> "Graph":
+        """Rebuild a graph from raw CSR arrays.
+
+        The inverse of reading :attr:`indptr` / :attr:`indices`; also the
+        reconstruction half of pickling and of the shared-memory handoff in
+        :mod:`repro.parallel` (both pass ``validate=False`` because the
+        arrays come from an already-validated :class:`Graph`).
+        """
+        return cls(indptr, indices, validate=validate)
 
     @classmethod
     def empty(cls, num_vertices: int = 0) -> "Graph":
@@ -178,9 +193,31 @@ class Graph:
         mask = src < self._indices
         return np.column_stack([src[mask], self._indices[mask]])
 
+    def content_digest(self) -> str:
+        """Hex SHA-256 over the CSR arrays — a stable content identity.
+
+        Unlike :meth:`__hash__` this survives across processes and python
+        runs, which is what keys the persistent artifact store
+        (:mod:`repro.index.store`).  Cached after the first call.
+        """
+        if self._digest is None:
+            h = hashlib.sha256()
+            h.update(np.int64(self.num_vertices).tobytes())
+            h.update(self._indptr.tobytes())
+            h.update(self._indices.tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
+
     # ------------------------------------------------------------------
     # Dunder protocol
     # ------------------------------------------------------------------
+    def __reduce__(self):
+        # Serialize only the defining CSR arrays: the degree cache (and any
+        # future derived cache) is recomputed on load, so a pickled graph —
+        # and every per-task handoff to a worker process — carries exactly
+        # the O(m) payload.
+        return (Graph.from_arrays, (self._indptr, self._indices, False))
+
     def __len__(self) -> int:
         return self.num_vertices
 

@@ -1,9 +1,12 @@
 """Shared best-k index: build expensive artifacts once, answer everything.
 
 See :class:`BestKIndex` for the lazy, memoizing index that serves both
-best-k problems for every metric from one set of artifacts.
+best-k problems for every metric from one set of artifacts, and
+:class:`ArtifactStore` for the persistent on-disk bundle cache it can
+hydrate from (``store=`` / ``REPRO_CACHE_DIR``).
 """
 
 from .bestk_index import BestKIndex
+from .store import ArtifactStore, resolve_store
 
-__all__ = ["BestKIndex"]
+__all__ = ["ArtifactStore", "BestKIndex", "resolve_store"]

@@ -35,9 +35,24 @@ idempotent.  Parametrised families (the weighted family's
 :meth:`~repro.engine.HierarchyFamily.cache_token`; when the token changes
 the family's artifacts and scores are invalidated and rebuilt.
 
+Two optional accelerators wrap the same cache without changing any
+result (both default off; ``tests/test_parallel.py`` and
+``tests/test_store.py`` assert bit-identity):
+
+* ``jobs=`` — :meth:`prebuild` fans family builds out across worker
+  processes via :mod:`repro.parallel` (zero-copy shared-memory graph
+  handoff); the batch APIs prebuild automatically when more than one
+  worker is configured.  ``None`` defers to ``REPRO_JOBS``.
+* ``store=`` — a :class:`repro.index.store.ArtifactStore` persists every
+  eligible artifact as it is built and hydrates it back (memory-mapped)
+  on the first touch of a family, so a warm process skips the build
+  phase.  ``None`` defers to ``REPRO_CACHE_DIR``; pass ``False`` to
+  force off.
+
 All results are bit-identical to the from-scratch entry points
 (``tests/test_index.py`` enforces this); the index is purely a performance
-object.  ``benchmarks/bench_index.py`` measures cold-vs-warm gaps.
+object.  ``benchmarks/bench_index.py`` and ``benchmarks/bench_parallel.py``
+measure cold-vs-warm and serial-vs-parallel gaps.
 """
 
 from __future__ import annotations
@@ -74,10 +89,18 @@ from ..engine.levels import (
 from ..engine.metrics import PAPER_METRICS, Metric, get_metric
 from ..engine.primary import GraphTotals, graph_totals
 from ..engine.triangles import triangles_by_min_rank_vertex
-from ..errors import MetricRequirementError
+from ..errors import MetricRequirementError, ReproError
 from ..graph.csr import Graph
+from ..kernels import get_backend
+from ..parallel import parallel_map, resolve_jobs, shared_graph
+from .store import hydrate_arrays, resolve_store
+from .worker import build_family_artifacts
 
 __all__ = ["BestKIndex"]
+
+#: Triangle-pass artifacts; :meth:`BestKIndex.prebuild` splits them into
+#: their own worker task so the O(m^1.5) pass overlaps the O(m) builds.
+_TRIANGLE_ARTIFACTS = ("triangles", "level_triangles", "node_triangles")
 
 #: Phase an artifact's build time counts towards, by its (unprefixed)
 #: artifact name; everything unnamed here lands in ``other``.
@@ -116,6 +139,15 @@ class BestKIndex:
     backend:
         Kernel backend selector threaded through every kernel the index
         runs (name, instance, or ``None`` for ``REPRO_BACKEND``/default).
+    jobs:
+        Worker-process count for :meth:`prebuild` and the batch APIs.
+        ``None`` defers to the ``REPRO_JOBS`` environment variable;
+        values ``<= 1`` keep everything in-process (the default).
+    store:
+        Persistent artifact cache: an
+        :class:`~repro.index.store.ArtifactStore`, a directory path, or
+        ``None`` to defer to ``REPRO_CACHE_DIR`` (off when unset).
+        ``False`` forces off regardless of the environment.
 
     Examples
     --------
@@ -126,12 +158,23 @@ class BestKIndex:
     >>> index.score_cores_all_metrics()                 # doctest: +SKIP
     """
 
-    def __init__(self, graph: Graph, *, backend=None):
+    def __init__(self, graph: Graph, *, backend=None, jobs: int | None = None, store=None):
         self.graph = graph
         self.backend = backend
+        #: Resolved kernel-backend name; part of every store bundle key so
+        #: artifacts built by different backends never alias on disk.
+        self.backend_name = get_backend(backend).name
+        self.jobs = jobs
+        self.store = resolve_store(store)
         self._artifacts: dict[str, object] = {}
         #: Wall seconds spent building each artifact, by artifact key.
+        #: Hydrated artifacts are charged 0.0 (their cost is load time,
+        #: reported separately via :attr:`hydrate_seconds`).
         self.build_seconds: dict[str, float] = {}
+        #: Wall seconds spent loading artifacts from the store.
+        self.hydrate_seconds = 0.0
+        #: Families whose store bundle has already been probed.
+        self._hydrated: set[str] = set()
         #: Memoized per-(family, metric) level-set scores.
         self._scores: dict[tuple[str, str], LevelSetScores] = {}
         #: Memoized per-metric core-forest scores (Problem 2).
@@ -142,12 +185,15 @@ class BestKIndex:
     # ------------------------------------------------------------------
     # Lazy artifact store
     # ------------------------------------------------------------------
-    def _get(self, key: str, builder: Callable[[], object]):
+    def _get(self, key: str, builder: Callable[[], object], *, persist=None):
         """Build-at-most-once cache; records per-artifact build time.
 
         Time spent building *nested* artifacts inside ``builder`` (e.g. the
         core level ordering triggering the Algorithm 1 pass) is attributed
-        to their own keys, not double-counted here.
+        to their own keys, not double-counted here.  When ``persist`` is a
+        ``(family, params)`` pair and a store is configured, a freshly
+        built value is offered to the store (which decides eligibility);
+        store I/O failures never fail the query.
         """
         if key not in self._artifacts:
             nested_before = sum(self.build_seconds.values())
@@ -157,16 +203,31 @@ class BestKIndex:
             nested = sum(self.build_seconds.values()) - nested_before
             self._artifacts[key] = value
             self.build_seconds[key] = max(elapsed - nested, 0.0)
+            if persist is not None and self.store is not None:
+                fam, params = persist
+                try:
+                    self.store.save_artifact(
+                        self.graph, fam, params, self.backend_name,
+                        key.partition(":")[2], value,
+                    )
+                except OSError:
+                    pass
         return self._artifacts[key]
 
     def _sync_token(self, fam: HierarchyFamily, params: dict) -> None:
-        """Invalidate a family's artifacts when its cache token changes."""
+        """Invalidate on cache-token change, then hydrate from the store.
+
+        Every query funnels through here before touching a family's
+        artifacts, so hydration is lazy (nothing is loaded for families
+        the process never asks about) yet always lands before the first
+        build decision.
+        """
         token = fam.cache_token(**params)
-        if token is None:
-            return
-        if self._tokens.get(fam.name, token) != token:
-            self._invalidate(fam.name)
-        self._tokens[fam.name] = token
+        if token is not None:
+            if self._tokens.get(fam.name, token) != token:
+                self._invalidate(fam.name)
+            self._tokens[fam.name] = token
+        self._maybe_hydrate(fam, params)
 
     def _invalidate(self, family_name: str) -> None:
         prefix = family_name + ":"
@@ -175,6 +236,40 @@ class BestKIndex:
             self.build_seconds.pop(key, None)
         for key in [k for k in self._scores if k[0] == family_name]:
             del self._scores[key]
+        # A token change selects a different bundle key, so the store must
+        # be re-probed under the new params.
+        self._hydrated.discard(family_name)
+
+    def _maybe_hydrate(self, fam: HierarchyFamily, params: dict) -> None:
+        """Probe the store once per family (per token) and absorb its bundle."""
+        if self.store is None or not fam.supports_store or fam.name in self._hydrated:
+            return
+        self._hydrated.add(fam.name)
+        start = time.perf_counter()
+        try:
+            loaded = self.store.load_bundle(self.graph, fam, params, self.backend_name)
+        except OSError:
+            loaded = None
+        self.hydrate_seconds += time.perf_counter() - start
+        if loaded:
+            self._absorb(fam, loaded)
+
+    def _absorb(
+        self, fam: HierarchyFamily, artifacts: dict, seconds: dict | None = None
+    ) -> None:
+        """Insert externally built artifacts without clobbering local ones.
+
+        ``build_seconds`` still gets an entry per absorbed key (0.0 for
+        disk hydration, the worker's measurement for parallel builds) so
+        the ``built == timed`` invariant the introspection tests rely on
+        holds for every population path.
+        """
+        for name, value in artifacts.items():
+            key = f"{fam.name}:{name}"
+            if key in self._artifacts:
+                continue
+            self._artifacts[key] = value
+            self.build_seconds[key] = float((seconds or {}).get(key, 0.0))
 
     # ------------------------------------------------------------------
     # Family-keyed artifacts (any registered family)
@@ -186,6 +281,7 @@ class BestKIndex:
         return self._get(
             f"{fam.name}:decompose",
             lambda: fam.decompose(self.graph, backend=self.backend, **params),
+            persist=(fam, params),
         )
 
     def _family_levels(self, fam: HierarchyFamily, decomposition, params) -> np.ndarray:
@@ -197,6 +293,7 @@ class BestKIndex:
         return self._get(
             f"{fam.name}:ordering",
             lambda: fam.index_ordering(self, levels, **params),
+            persist=(fam, params),
         )
 
     def _family_totals(self, fam: HierarchyFamily, decomposition, params):
@@ -214,26 +311,27 @@ class BestKIndex:
                 twice_inside, boundary, ordering.order, ordering.level_start
             )
 
-        return self._get(f"{fam.name}:level_totals", build)
+        return self._get(f"{fam.name}:level_totals", build, persist=(fam, params))
 
-    def _family_triangle_charges(self, fam: HierarchyFamily, ordering) -> np.ndarray:
+    def _family_triangle_charges(self, fam: HierarchyFamily, ordering, params) -> np.ndarray:
         return self._get(
             f"{fam.name}:triangles",
             lambda: triangles_by_min_rank_vertex(ordering, backend=self.backend),
+            persist=(fam, params),
         )
 
-    def _family_level_triangles(self, fam: HierarchyFamily, ordering):
+    def _family_level_triangles(self, fam: HierarchyFamily, ordering, params):
         def build():
             tri_new, trip_new = triangle_level_increments(
                 ordering,
                 ordering.order,
                 ordering.level_start,
                 backend=self.backend,
-                charges=self._family_triangle_charges(fam, ordering),
+                charges=self._family_triangle_charges(fam, ordering, params),
             )
             return cumulate_from_top(tri_new), cumulate_from_top(trip_new)
 
-        return self._get(f"{fam.name}:level_triangles", build)
+        return self._get(f"{fam.name}:level_triangles", build, persist=(fam, params))
 
     def artifact(self, family: str | HierarchyFamily, name: str, **params):
         """Fetch (building lazily) the named artifact of a family.
@@ -275,8 +373,145 @@ class BestKIndex:
                 f"family {fam.name!r} does not support triangle-based artifacts"
             )
         if name == "triangles":
-            return self._family_triangle_charges(fam, ordering)
-        return self._family_level_triangles(fam, ordering)
+            return self._family_triangle_charges(fam, ordering, params)
+        return self._family_level_triangles(fam, ordering, params)
+
+    # ------------------------------------------------------------------
+    # Parallel prebuild
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _metrics_for(fam: HierarchyFamily, metrics):
+        """Normalise prebuild ``metrics``: ``None``, a tuple, or a per-family dict."""
+        if metrics is None:
+            return None
+        if isinstance(metrics, dict):
+            return metrics.get(fam.name)
+        return tuple(metrics)
+
+    def _plan_artifacts(
+        self, fam: HierarchyFamily, metrics, problem2: bool
+    ) -> list[str]:
+        """Artifact names one family needs to serve the given metrics."""
+        names = ["decompose"]
+        if fam.name == "core":
+            names.append("order")
+        names += ["levels", "ordering", "totals", "level_totals"]
+        need_triangles = False
+        if fam.supports_triangles:
+            for m in (fam.batch_metrics if metrics is None else metrics):
+                try:
+                    if fam.metric_requires_triangles(fam.resolve_metric(m)):
+                        need_triangles = True
+                        break
+                except ReproError:
+                    continue
+        if need_triangles:
+            names += ["triangles", "level_triangles"]
+        if problem2 and fam.name == "core":
+            names += ["forest", "node_totals"]
+            if need_triangles:
+                names.append("node_triangles")
+        return names
+
+    @staticmethod
+    def _split_task_names(names: list[str]) -> list[list[str]]:
+        """Split a family's missing artifacts into overlappable worker tasks.
+
+        The O(m^1.5) triangle pass goes to its own task so it runs
+        alongside the O(m) builds (the triangle worker re-derives its
+        cheap prerequisites in-process rather than waiting on the other
+        task — compute overlap beats a serial dependency chain).
+        """
+        tri = [n for n in names if n in _TRIANGLE_ARTIFACTS]
+        if not tri or len(tri) == len(names):
+            return [list(names)]
+        return [[n for n in names if n not in _TRIANGLE_ARTIFACTS], tri]
+
+    def prebuild(
+        self,
+        families=("core",),
+        *,
+        metrics=None,
+        family_params: dict[str, dict] | None = None,
+        problem2: bool = False,
+        jobs: int | None = None,
+    ) -> dict[str, tuple[str, ...]]:
+        """Build every artifact the given queries will need, up front.
+
+        With more than one worker configured (``jobs`` argument, the
+        index's ``jobs=``, or ``REPRO_JOBS``), missing artifacts fan out
+        across a process pool: the graph is handed to workers zero-copy
+        through :mod:`repro.parallel` shared memory, each worker builds
+        one family's artifact group, and the results come back through the
+        same array codec the disk store uses — so the populated cache is
+        bit-identical to a serial build.  With one worker (the default)
+        everything builds in-process; either way queries afterwards are
+        pure cache hits.
+
+        ``metrics`` (a tuple, or a dict keyed by family name) decides
+        whether the triangle pass is included; ``family_params`` supplies
+        per-family ``**params`` (e.g. the weighted family's
+        ``edge_weights``); ``problem2`` adds the core forest artifacts.
+        Families whose params are invalid (exactly the errors the serial
+        sweeps skip) are skipped.  Returns the per-family tuple of planned
+        artifact names now present.
+        """
+        family_params = family_params or {}
+        workers = resolve_jobs(self.jobs if jobs is None else jobs)
+        planned: list[tuple[HierarchyFamily, dict, list[str]]] = []
+        for family in families:
+            fam = get_family(family)
+            params = dict(family_params.get(fam.name, {}))
+            try:
+                self._sync_token(fam, params)
+                names = self._plan_artifacts(fam, self._metrics_for(fam, metrics), problem2)
+            except (ReproError, TypeError):
+                continue
+            planned.append((fam, params, names))
+
+        tasks: list[tuple[HierarchyFamily, dict, tuple[str, ...]]] = []
+        for fam, params, names in planned:
+            missing = [n for n in names if f"{fam.name}:{n}" not in self._artifacts]
+            for group in self._split_task_names(missing):
+                if group:
+                    tasks.append((fam, params, tuple(group)))
+
+        if workers > 1 and len(tasks) > 1:
+            with shared_graph(self.graph) as sg:
+                results = parallel_map(
+                    build_family_artifacts,
+                    [
+                        (sg.handle, fam.name, params, self.backend_name, names)
+                        for fam, params, names in tasks
+                    ],
+                    jobs=workers,
+                )
+            for (fam, params, _), (_, payloads, seconds) in zip(tasks, results):
+                if not payloads:
+                    continue
+                artifacts = hydrate_arrays(self.graph, fam, payloads, params)
+                self._absorb(fam, artifacts, seconds)
+                if self.store is not None:
+                    for name, value in artifacts.items():
+                        try:
+                            self.store.save_artifact(
+                                self.graph, fam, params, self.backend_name, name, value
+                            )
+                        except OSError:
+                            pass
+        # Serve the remainder in-process: everything when serial; the cheap
+        # non-persisted artifacts (levels, totals) plus anything a worker
+        # could not deliver when parallel.
+        for fam, params, names in tasks:
+            try:
+                for name in names:
+                    self.artifact(fam, name, **params)
+            except (ReproError, TypeError):
+                continue
+        return {
+            fam.name: tuple(n for n in names if f"{fam.name}:{n}" in self._artifacts)
+            for fam, params, names in planned
+        }
 
     # ------------------------------------------------------------------
     # Problem 1, any family: level-set scores and the best level
@@ -306,7 +541,7 @@ class BestKIndex:
                 raise MetricRequirementError(
                     f"family {fam.name!r} does not support triangle-based metrics"
                 )
-            tri_k, trip_k = self._family_level_triangles(fam, ordering)
+            tri_k, trip_k = self._family_level_triangles(fam, ordering, params)
         thresholds = fam.thresholds(decomposition, len(num_k) - 2, **params)
         result = scores_from_level_totals(
             metric, totals, num_k, twice_in_k, out_k, tri_k, trip_k,
@@ -329,6 +564,11 @@ class BestKIndex:
         """
         fam = get_family(family)
         names = fam.batch_metrics if metrics is None else metrics
+        if resolve_jobs(self.jobs) > 1:
+            self.prebuild(
+                (fam.name,), metrics=tuple(names),
+                family_params={fam.name: dict(params)},
+            )
         return {
             fam.resolve_metric(m).name: self.best_level(fam, m, **params)
             for m in names
@@ -350,8 +590,13 @@ class BestKIndex:
         :class:`~repro.engine.levels.LevelOrdering`) is a zero-copy view of
         this artifact via :func:`~repro.core.family.core_level_view`.
         """
+        # Touch the decomposition *outside* the builder so store hydration
+        # (which may bring ``core:order`` along) precedes the build check.
+        decomposition = self.decomposition
         return self._get(
-            "core:order", lambda: order_vertices(self.graph, self.decomposition)
+            "core:order",
+            lambda: order_vertices(self.graph, decomposition),
+            persist=(get_family("core"), {}),
         )
 
     @property
@@ -362,8 +607,11 @@ class BestKIndex:
     @property
     def forest(self) -> CoreForest:
         """The core forest (built only when a single-core query needs it)."""
+        decomposition = self.decomposition
         return self._get(
-            "core:forest", lambda: build_core_forest(self.graph, self.decomposition)
+            "core:forest",
+            lambda: build_core_forest(self.graph, decomposition),
+            persist=(get_family("core"), {}),
         )
 
     @property
@@ -374,25 +622,32 @@ class BestKIndex:
         O(m) metrics leaves it unbuilt.  Shared between the per-level
         (Problem 1) and per-forest-node (Problem 2) aggregations.
         """
+        ordered = self.ordered
         return self._get(
             "core:triangles",
-            lambda: triangles_by_min_rank_vertex(self.ordered, backend=self.backend),
+            lambda: triangles_by_min_rank_vertex(ordered, backend=self.backend),
+            persist=(get_family("core"), {}),
         )
 
     def _node_totals(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        ordered, forest = self.ordered, self.forest
         return self._get(
-            "core:node_totals", lambda: forest_base_totals(self.ordered, self.forest)
+            "core:node_totals",
+            lambda: forest_base_totals(ordered, forest),
+            persist=(get_family("core"), {}),
         )
 
     def _node_triangles(self) -> tuple[np.ndarray, np.ndarray]:
+        ordered, forest = self.ordered, self.forest
         return self._get(
             "core:node_triangles",
             lambda: forest_triangle_totals(
-                self.ordered,
-                self.forest,
+                ordered,
+                forest,
                 backend=self.backend,
                 charges=self.triangle_charges,
             ),
+            persist=(get_family("core"), {}),
         )
 
     # ------------------------------------------------------------------
@@ -410,12 +665,16 @@ class BestKIndex:
         self, metrics: tuple[str, ...] = PAPER_METRICS
     ) -> dict[str, LevelSetScores]:
         """Batch Problem 1: every metric scored from the one shared index."""
+        if resolve_jobs(self.jobs) > 1:
+            self.prebuild(("core",), metrics=tuple(metrics))
         return {get_metric(m).name: self.set_scores(m) for m in metrics}
 
     def best_set_all_metrics(
         self, metrics: tuple[str, ...] = PAPER_METRICS
     ) -> dict[str, BestLevelResult]:
         """Batch Problem 1 winners, keyed by canonical metric name."""
+        if resolve_jobs(self.jobs) > 1:
+            self.prebuild(("core",), metrics=tuple(metrics))
         return {get_metric(m).name: self.best_set(m) for m in metrics}
 
     # ------------------------------------------------------------------
@@ -456,12 +715,16 @@ class BestKIndex:
         self, metrics: tuple[str, ...] = PAPER_METRICS
     ) -> dict[str, KCoreScores]:
         """Batch Problem 2: every metric scored from the one shared index."""
+        if resolve_jobs(self.jobs) > 1:
+            self.prebuild(("core",), metrics=tuple(metrics), problem2=True)
         return {get_metric(m).name: self.core_scores(m) for m in metrics}
 
     def best_core_all_metrics(
         self, metrics: tuple[str, ...] = PAPER_METRICS
     ) -> dict[str, BestCoreResult]:
         """Batch Problem 2 winners, keyed by canonical metric name."""
+        if resolve_jobs(self.jobs) > 1:
+            self.prebuild(("core",), metrics=tuple(metrics), problem2=True)
         return {get_metric(m).name: self.best_core(m) for m in metrics}
 
     # ------------------------------------------------------------------

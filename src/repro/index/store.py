@@ -1,0 +1,447 @@
+"""Persistent on-disk artifact cache — versioned ``.npy`` bundles.
+
+A *bundle* is one directory holding every persisted artifact of one
+``(graph, family, parametrisation, backend)`` combination::
+
+    <root>/<family>-<key>/
+        meta.json                     # format version, identity, manifest
+        decompose.coreness.npy        # one .npy per array field
+        ordering.rank.npy
+        ...
+
+The bundle key is a SHA-256 over the graph's content digest
+(:meth:`repro.graph.csr.Graph.content_digest`), the family name, the
+family's content-based :meth:`~repro.engine.HierarchyFamily.store_token`
+and the kernel-backend name — any of those changing routes to a different
+bundle, so a stale hit is structurally impossible.  Loads memory-map the
+arrays (``np.load(..., mmap_mode="r")``), so a warm
+:class:`~repro.index.BestKIndex` start maps artifacts instead of
+rebuilding them.
+
+Robustness rules: array and manifest writes are atomic
+(temp file + ``os.replace``); any load anomaly — unreadable manifest,
+missing field file, dtype/shape mismatch, truncated ``.npy`` — discards
+the bundle and reports a miss, forcing a clean rebuild.  A corrupted
+cache can cost time, never correctness.
+
+The same dump/load codec (:func:`dump_artifact` / :func:`hydrate_arrays`)
+also carries artifacts from pool workers back to the parent index, which
+is what keeps the parallel path bit-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.decomposition import CoreDecomposition
+from ..core.forest import CoreForest, CoreNode
+from ..core.ordering import OrderedGraph
+from ..engine.family import HierarchyFamily
+from ..engine.levels import LevelOrdering
+from ..graph.csr import Graph
+
+__all__ = [
+    "ArtifactStore",
+    "BundleInfo",
+    "FORMAT_VERSION",
+    "dump_artifact",
+    "hydrate_arrays",
+    "persisted_names",
+    "resolve_store",
+]
+
+FORMAT_VERSION = 1
+
+_ORDERING_FIELDS = (
+    "levels", "rank", "indptr", "indices", "same", "plus", "high",
+    "order", "level_start",
+)
+_ORDER_FIELDS = ("rank", "indptr", "indices", "same", "plus", "high")
+
+#: Artifact names persisted for a non-core family with / without triangle
+#: support.  ``levels`` and ``totals`` are O(n) recomputations from the
+#: decomposition — cheaper to rebuild than to map.
+_GENERIC_PERSISTED = ("decompose", "ordering", "level_totals")
+_TRIANGLE_PERSISTED = ("triangles", "level_triangles")
+#: The core family persists its Problem 2 artifacts too; ``core:ordering``
+#: is deliberately absent — it is a zero-copy view of ``core:order``
+#: (:func:`repro.core.family.core_level_view`) and would double the bytes.
+_CORE_PERSISTED = (
+    "decompose", "order", "forest", "level_totals",
+    "triangles", "level_triangles", "node_totals", "node_triangles",
+)
+
+
+def persisted_names(fam: HierarchyFamily) -> tuple[str, ...]:
+    """Artifact names of ``fam`` eligible for the disk store."""
+    if not fam.supports_store:
+        return ()
+    if fam.name == "core":
+        return _CORE_PERSISTED
+    if fam.supports_triangles:
+        return _GENERIC_PERSISTED + _TRIANGLE_PERSISTED
+    return _GENERIC_PERSISTED
+
+
+# ----------------------------------------------------------------------
+# Artifact <-> arrays codec
+# ----------------------------------------------------------------------
+
+def dump_artifact(fam: HierarchyFamily, name: str, value) -> dict[str, np.ndarray] | None:
+    """Flatten one index artifact into named arrays, or ``None`` to skip."""
+    if name == "decompose":
+        return fam.dump_decomposition(value)
+    if name == "ordering":
+        return {field: getattr(value, field) for field in _ORDERING_FIELDS}
+    if name == "order":
+        return {field: getattr(value, field) for field in _ORDER_FIELDS}
+    if name == "forest":
+        return _dump_forest(value)
+    if name == "level_totals":
+        num_k, twice_in_k, out_k = value
+        return {"num_k": num_k, "twice_in_k": twice_in_k, "out_k": out_k}
+    if name == "triangles":
+        return {"charges": value}
+    if name == "level_triangles":
+        tri_k, trip_k = value
+        return {"tri_k": tri_k, "trip_k": trip_k}
+    if name == "node_totals":
+        twice_in, out, num = value
+        return {"twice_in": twice_in, "out": out, "num": num}
+    if name == "node_triangles":
+        tri, trip = value
+        return {"tri": tri, "trip": trip}
+    return None
+
+
+def _dump_forest(forest: CoreForest) -> dict[str, np.ndarray]:
+    nodes = forest.nodes
+    k = np.asarray([node.k for node in nodes], dtype=np.int64)
+    parent = np.asarray([node.parent for node in nodes], dtype=np.int64)
+    vert_ptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+    for i, node in enumerate(nodes):
+        vert_ptr[i + 1] = vert_ptr[i] + len(node.vertices)
+    vertices = (
+        np.concatenate([node.vertices for node in nodes])
+        if nodes else np.empty(0, dtype=np.int64)
+    )
+    return {"k": k, "parent": parent, "vert_ptr": vert_ptr, "vertices": vertices}
+
+
+def _load_forest(graph: Graph, fields: dict[str, np.ndarray]) -> CoreForest:
+    k = np.asarray(fields["k"])
+    parent = np.asarray(fields["parent"])
+    vert_ptr = np.asarray(fields["vert_ptr"])
+    vertices = np.asarray(fields["vertices"])
+    children: list[list[int]] = [[] for _ in range(len(k))]
+    # Nodes are stored (and rebuilt) in descending-k id order, so child ids
+    # ascend within each parent exactly as the builders produce them.
+    for i, p in enumerate(parent.tolist()):
+        if p >= 0:
+            children[p].append(i)
+    nodes = [
+        CoreNode(
+            node_id=i,
+            k=int(k[i]),
+            vertices=vertices[vert_ptr[i]:vert_ptr[i + 1]],
+            parent=int(parent[i]),
+            children=tuple(children[i]),
+        )
+        for i in range(len(k))
+    ]
+    return CoreForest(nodes, graph.num_vertices)
+
+
+def _load_artifact(graph, fam, name, fields, *, decomposition, params):
+    if name == "decompose":
+        return fam.load_decomposition(graph, fields, **params)
+    if name == "ordering":
+        return LevelOrdering(
+            graph=graph, **{f: np.asarray(fields[f]) for f in _ORDERING_FIELDS}
+        )
+    if name == "order":
+        return OrderedGraph(
+            graph=graph,
+            decomposition=decomposition,
+            **{f: np.asarray(fields[f]) for f in _ORDER_FIELDS},
+        )
+    if name == "forest":
+        return _load_forest(graph, fields)
+    if name == "level_totals":
+        return tuple(np.asarray(fields[f]) for f in ("num_k", "twice_in_k", "out_k"))
+    if name == "triangles":
+        return np.asarray(fields["charges"])
+    if name == "level_triangles":
+        return tuple(np.asarray(fields[f]) for f in ("tri_k", "trip_k"))
+    if name == "node_totals":
+        return tuple(np.asarray(fields[f]) for f in ("twice_in", "out", "num"))
+    if name == "node_triangles":
+        return tuple(np.asarray(fields[f]) for f in ("tri", "trip"))
+    raise KeyError(name)
+
+
+def hydrate_arrays(
+    graph: Graph,
+    fam: HierarchyFamily,
+    arrays_by_name: dict[str, dict[str, np.ndarray]],
+    params: dict,
+) -> dict[str, object]:
+    """Reconstruct index artifacts from their array form, in dependency order.
+
+    Shared by the disk-bundle loader and the pool-worker result path.
+    Artifacts whose prerequisites are missing (an ``order`` without its
+    ``decompose``) are skipped rather than failing the whole set.
+    """
+    out: dict[str, object] = {}
+    decomposition = None
+    ordered = sorted(arrays_by_name, key=lambda n: (n != "decompose", n != "order"))
+    for name in ordered:
+        if name == "order" and decomposition is None:
+            continue
+        value = _load_artifact(
+            graph, fam, name, arrays_by_name[name],
+            decomposition=decomposition, params=params,
+        )
+        if name == "decompose":
+            decomposition = value
+        out[name] = value
+    return out
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BundleInfo:
+    """One bundle directory as listed by :meth:`ArtifactStore.bundles`."""
+
+    key: str
+    family: str
+    num_vertices: int
+    num_edges: int
+    backend: str
+    artifacts: tuple[str, ...]
+    nbytes: int
+    path: Path
+
+
+class ArtifactStore:
+    """Content-addressed bundle store rooted at one directory."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- keys -----------------------------------------------------------
+    def bundle_key(
+        self, graph: Graph, fam: HierarchyFamily, params: dict, backend_name: str
+    ) -> str:
+        token = fam.store_token(**params)
+        ident = "|".join((
+            f"v{FORMAT_VERSION}",
+            graph.content_digest(),
+            fam.name,
+            "" if token is None else str(token),
+            backend_name,
+        ))
+        digest = hashlib.sha256(ident.encode()).hexdigest()
+        return f"{fam.name}-{digest[:20]}"
+
+    def bundle_dir(
+        self, graph: Graph, fam: HierarchyFamily, params: dict, backend_name: str
+    ) -> Path:
+        return self.root / self.bundle_key(graph, fam, params, backend_name)
+
+    # -- write ----------------------------------------------------------
+    def save_artifact(
+        self,
+        graph: Graph,
+        fam: HierarchyFamily,
+        params: dict,
+        backend_name: str,
+        name: str,
+        value,
+    ) -> bool:
+        """Persist one artifact into its bundle; returns whether written.
+
+        Field files already present are kept (identical content by
+        construction — the key pins graph, token and backend); the manifest
+        is re-merged so concurrent writers converge.
+        """
+        if name not in persisted_names(fam):
+            return False
+        payload = dump_artifact(fam, name, value)
+        if payload is None:
+            return False
+        bundle = self.bundle_dir(graph, fam, params, backend_name)
+        bundle.mkdir(parents=True, exist_ok=True)
+        spec: dict[str, dict] = {}
+        for field, arr in payload.items():
+            arr = np.asarray(arr)
+            filename = f"{name}.{field}.npy"
+            spec[field] = {
+                "file": filename,
+                "dtype": str(arr.dtype),
+                "shape": list(arr.shape),
+            }
+            path = bundle / filename
+            if not path.exists():
+                _atomic_save_array(path, arr)
+        meta = self._read_meta(bundle) or {
+            "format": FORMAT_VERSION,
+            "family": fam.name,
+            "backend": backend_name,
+            "graph": {
+                "digest": graph.content_digest(),
+                "n": graph.num_vertices,
+                "m": graph.num_edges,
+            },
+            "token": fam.store_token(**params),
+            "artifacts": {},
+        }
+        meta["artifacts"][name] = spec
+        _atomic_write_text(bundle / "meta.json", json.dumps(meta, indent=1, sort_keys=True))
+        return True
+
+    # -- read -----------------------------------------------------------
+    def load_bundle(
+        self, graph: Graph, fam: HierarchyFamily, params: dict, backend_name: str
+    ) -> dict[str, object] | None:
+        """All reconstructable artifacts of a bundle, or ``None`` on miss.
+
+        Any anomaly (corrupt manifest, missing/truncated/mis-shaped array
+        file) discards the bundle and returns ``None``.
+        """
+        bundle = self.bundle_dir(graph, fam, params, backend_name)
+        if not (bundle / "meta.json").exists():
+            return None
+        try:
+            meta = self._read_meta(bundle, strict=True)
+            if (
+                meta["format"] != FORMAT_VERSION
+                or meta["family"] != fam.name
+                or meta["graph"]["digest"] != graph.content_digest()
+            ):
+                raise ValueError("bundle identity mismatch")
+            arrays_by_name: dict[str, dict[str, np.ndarray]] = {}
+            for name, spec in meta["artifacts"].items():
+                fields = {}
+                for field, fspec in spec.items():
+                    arr = _load_array(bundle / fspec["file"])
+                    if (
+                        str(arr.dtype) != fspec["dtype"]
+                        or list(arr.shape) != fspec["shape"]
+                    ):
+                        raise ValueError(f"array mismatch in {fspec['file']}")
+                    fields[field] = arr
+                arrays_by_name[name] = fields
+            return hydrate_arrays(graph, fam, arrays_by_name, params)
+        except Exception:
+            self._discard(bundle)
+            return None
+
+    # -- maintenance ----------------------------------------------------
+    def bundles(self) -> list[BundleInfo]:
+        """Readable bundles under the root, sorted by key."""
+        out = []
+        for path in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            meta = self._read_meta(path)
+            if meta is None:
+                continue
+            nbytes = sum(f.stat().st_size for f in path.iterdir() if f.is_file())
+            out.append(BundleInfo(
+                key=path.name,
+                family=meta.get("family", "?"),
+                num_vertices=meta.get("graph", {}).get("n", -1),
+                num_edges=meta.get("graph", {}).get("m", -1),
+                backend=meta.get("backend", "?"),
+                artifacts=tuple(sorted(meta.get("artifacts", {}))),
+                nbytes=nbytes,
+                path=path,
+            ))
+        return out
+
+    def clear(self) -> int:
+        """Delete every bundle directory; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.iterdir():
+            if path.is_dir():
+                self._discard(path)
+                removed += 1
+        return removed
+
+    # -- internals ------------------------------------------------------
+    @staticmethod
+    def _read_meta(bundle: Path, strict: bool = False) -> dict | None:
+        try:
+            return json.loads((bundle / "meta.json").read_text(encoding="utf-8"))
+        except Exception:
+            if strict:
+                raise
+            return None
+
+    @staticmethod
+    def _discard(bundle: Path) -> None:
+        shutil.rmtree(bundle, ignore_errors=True)
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore(root={str(self.root)!r})"
+
+
+def resolve_store(store) -> ArtifactStore | None:
+    """Normalise the ``store=`` parameter of :class:`~repro.index.BestKIndex`.
+
+    ``None`` consults the ``REPRO_CACHE_DIR`` environment variable (unset
+    or empty means no store); ``False`` disables the store outright; a
+    path creates an :class:`ArtifactStore`; an instance passes through.
+    """
+    if store is False:
+        return None
+    if store is None:
+        env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+        return ArtifactStore(env) if env else None
+    if isinstance(store, ArtifactStore):
+        return store
+    return ArtifactStore(store)
+
+
+def _atomic_save_array(path: Path, arr: np.ndarray) -> None:
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.save(fh, np.ascontiguousarray(arr))
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        tmp.write_text(text + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _load_array(path: Path) -> np.ndarray:
+    try:
+        arr = np.load(path, mmap_mode="r", allow_pickle=False)
+    except ValueError:
+        # Zero-size arrays cannot be memory-mapped; load them eagerly
+        # (headers-only).  A genuinely corrupt file raises here too and
+        # propagates to the bundle loader, which discards the bundle.
+        arr = np.load(path, allow_pickle=False)
+    if not isinstance(arr, np.memmap):
+        arr.setflags(write=False)
+    return arr

@@ -1,0 +1,64 @@
+"""Pool-worker entry point for parallel index builds.
+
+Lives at module top level (not a closure) so ``ProcessPoolExecutor`` can
+dispatch it by reference.  A task is a plain tuple — the picklable
+:class:`~repro.parallel.GraphHandle` plus the family name, params,
+backend name and wanted artifact names — and the result is the artifacts
+in their array form (:func:`repro.index.store.dump_artifact`), which the
+parent rehydrates through the same codec as a disk bundle.  The graph
+itself never crosses the pipe in shared-memory mode: workers attach to
+the parent's CSR buffers.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+
+from ..engine.family import get_family
+from ..errors import ReproError
+from .store import dump_artifact, persisted_names
+
+__all__ = ["build_family_artifacts"]
+
+
+def build_family_artifacts(task) -> tuple[str, dict[str, dict[str, np.ndarray]], dict[str, float]]:
+    """Build the requested artifacts of one family in this process.
+
+    ``task`` is ``(handle, family_name, params, backend_name, names)``.
+    Returns ``(family_name, payloads, build_seconds)``; payload arrays are
+    fresh (never views into the shared graph), so pickling them back is
+    safe and the shared mapping can be released.  Families whose params
+    are invalid here (exactly the errors the serial sweep skips) return an
+    empty payload instead of poisoning the whole pool map.
+    """
+    handle, family_name, params, backend_name, names = task
+    graph, release = handle.attach()
+    try:
+        from .bestk_index import BestKIndex
+
+        fam = get_family(family_name)
+        index = BestKIndex(graph, backend=backend_name, jobs=1, store=False)
+        payloads: dict[str, dict[str, np.ndarray]] = {}
+        try:
+            for name in names:
+                index.artifact(fam, name, **params)
+        except (ReproError, TypeError):
+            return family_name, {}, {}
+        eligible = persisted_names(fam)
+        for name in names:
+            if name not in eligible:
+                continue
+            payload = dump_artifact(fam, name, index.artifact(fam, name, **params))
+            if payload is not None:
+                payloads[name] = {
+                    field: np.ascontiguousarray(arr) for field, arr in payload.items()
+                }
+        seconds = dict(index.build_seconds)
+        return family_name, payloads, seconds
+    finally:
+        # Views into the shared segment must be collectable before close.
+        index = fam = graph = None
+        gc.collect()
+        release()

@@ -1,0 +1,78 @@
+"""Process-pool fan-out with a transparent serial fallback.
+
+:func:`parallel_map` is the one dispatch primitive of the execution
+layer: an ordered map over tasks that runs in-process when a single
+worker is requested (or only one task exists) and through a
+``ProcessPoolExecutor`` otherwise.  Environments where pools cannot
+start (sandboxes without semaphores or fork) degrade to the serial path
+instead of erroring — results are identical either way, which is what
+lets every caller treat ``jobs`` as a pure performance knob.
+
+Worker-count resolution (:func:`resolve_jobs`): an explicit ``jobs``
+argument wins, then the ``REPRO_JOBS`` environment variable, then serial;
+``0`` or a negative value means "all cores".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["resolve_jobs", "parallel_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve a requested worker count to a concrete positive integer."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return int(jobs)
+
+
+def _fork_context():
+    # fork keeps worker start-up cheap on POSIX (no re-import, inherited
+    # modules make task functions picklable by reference); other platforms
+    # use their default start method.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], tasks: Iterable[_T], *, jobs: int | None = None
+) -> list[_R]:
+    """Ordered ``[fn(t) for t in tasks]`` across up to ``jobs`` processes.
+
+    Worker exceptions propagate to the caller exactly as in the serial
+    path.  ``fn`` must be a module-level callable and each task payload
+    picklable (a :class:`~repro.parallel.shm.GraphHandle` in shm mode
+    keeps the graph itself out of the payload).
+    """
+    task_list: Sequence[_T] = list(tasks)
+    workers = min(resolve_jobs(jobs), len(task_list))
+    if workers <= 1:
+        return [fn(task) for task in task_list]
+    try:
+        executor = ProcessPoolExecutor(max_workers=workers, mp_context=_fork_context())
+    except (OSError, PermissionError, ValueError):
+        return [fn(task) for task in task_list]
+    try:
+        with executor:
+            return list(executor.map(fn, task_list))
+    except (OSError, PermissionError):
+        # Pool died before doing useful work (sandboxed semaphores, fork
+        # limits); the serial path computes the identical answer.
+        return [fn(task) for task in task_list]

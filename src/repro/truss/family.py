@@ -23,12 +23,28 @@ class TrussFamily(HierarchyFamily):
     level_label = "k"
     paper_section = "VI-B"
     description = "maximal subgraphs where every edge closes >= k-2 triangles"
+    supports_store = True
 
     def decompose(self, graph, *, backend=None, **params) -> TrussDecomposition:
         return truss_decomposition(graph, backend=backend)
 
     def levels(self, decomposition: TrussDecomposition, **params) -> np.ndarray:
         return decomposition.vertex_level
+
+    def dump_decomposition(self, decomposition: TrussDecomposition):
+        return {
+            "edges": decomposition.edges,
+            "truss": decomposition.truss,
+            "vertex_level": decomposition.vertex_level,
+        }
+
+    def load_decomposition(self, graph, arrays, **params) -> TrussDecomposition:
+        return TrussDecomposition(
+            graph,
+            np.asarray(arrays["edges"]),
+            np.asarray(arrays["truss"]),
+            np.asarray(arrays["vertex_level"]),
+        )
 
 
 register_family(TrussFamily())

@@ -19,6 +19,8 @@ to the unweighted families, evaluated in float64.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..engine.family import HierarchyFamily, register_family
@@ -68,6 +70,7 @@ class WeightedFamily(HierarchyFamily):
     supports_triangles = False
     default_metric = "weighted_average_degree"
     batch_metrics = available_weighted_metrics()
+    supports_store = True
 
     def decompose(
         self, graph, *, backend=None, edge_weights=None, num_levels: int = 64, **params
@@ -133,6 +136,34 @@ class WeightedFamily(HierarchyFamily):
         if edge_weights is None:
             raise TypeError("the weighted family requires edge_weights=")
         return (id(edge_weights), int(num_levels))
+
+    def store_token(self, *, edge_weights=None, num_levels: int = 64, **params) -> str:
+        # The in-process cache_token uses array *identity* (cheap, but
+        # meaningless on disk); the store key hashes the weight contents so
+        # two runs with equal weights share a bundle and a mutated weight
+        # array can never hit a stale one.
+        if edge_weights is None:
+            raise TypeError("the weighted family requires edge_weights=")
+        weights = np.ascontiguousarray(edge_weights, dtype=np.float64)
+        digest = hashlib.sha256(weights.tobytes()).hexdigest()
+        return f"w={digest}:L={int(num_levels)}"
+
+    def dump_decomposition(self, decomposition: WeightedDecomposition):
+        # edge_weights are NOT stored: they are part of the bundle key and
+        # arrive via **params on load, so the bundle stays O(n).
+        return {"level": decomposition.level, "peel_order": decomposition.peel_order}
+
+    def load_decomposition(
+        self, graph, arrays, *, edge_weights=None, num_levels: int = 64, **params
+    ) -> WeightedDecomposition:
+        if edge_weights is None:
+            raise TypeError("the weighted family requires edge_weights=")
+        return WeightedDecomposition(
+            graph,
+            np.ascontiguousarray(edge_weights, dtype=np.float64),
+            np.asarray(arrays["level"]),
+            np.asarray(arrays["peel_order"]),
+        )
 
 
 register_family(WeightedFamily())

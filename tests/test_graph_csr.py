@@ -127,3 +127,43 @@ class TestImmutability:
         assert hash(a) == hash(b)
         assert a != c
         assert a != "not a graph"
+
+
+class TestPickle:
+    """The worker-handoff contract: pickle carries exactly the CSR arrays."""
+
+    def test_round_trip_bit_identity(self, figure2):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(figure2))
+        assert clone == figure2
+        assert np.array_equal(clone.indptr, figure2.indptr)
+        assert np.array_equal(clone.indices, figure2.indices)
+        assert clone.indptr.dtype == np.int64 and clone.indices.dtype == np.int64
+        # The clone is a full Graph: caches recomputed, still read-only.
+        assert np.array_equal(clone.degrees(), figure2.degrees())
+        with pytest.raises(ValueError):
+            clone.indptr[0] = 7
+
+    def test_reduce_carries_only_csr_arrays(self, figure2):
+        figure2.degrees()
+        figure2.content_digest()  # populate every derived cache
+        fn, payload = figure2.__reduce__()
+        assert fn == Graph.from_arrays
+        indptr, indices, validate = payload
+        assert indptr is figure2.indptr and indices is figure2.indices
+        assert validate is False  # trusted arrays skip re-validation on load
+
+    def test_round_trip_preserves_content_digest(self, figure2):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(figure2))
+        assert clone.content_digest() == figure2.content_digest()
+
+    def test_empty_graph_round_trip(self):
+        import pickle
+
+        for g in (Graph.empty(0), Graph.empty(4)):
+            clone = pickle.loads(pickle.dumps(g))
+            assert clone == g
+            assert clone.num_vertices == g.num_vertices

@@ -141,13 +141,23 @@ BUILDERS = (
 
 
 class TestLaziness:
-    def test_nothing_built_up_front(self, index):
+    """Build-count and laziness assertions.
+
+    These pin ``jobs=1, store=False``: the assertions are about *this
+    process's* builders, so an inherited ``REPRO_JOBS``/``REPRO_CACHE_DIR``
+    (the CI matrix sets both) must not satisfy them from a worker or a
+    warm disk bundle.  The bit-identity tests above deliberately stay on
+    the defaults so that same matrix exercises the parallel/store paths.
+    """
+
+    def test_nothing_built_up_front(self, graph):
+        index = BestKIndex(graph, jobs=1, store=False)
         assert index.built_artifacts() == ()
         assert index.build_seconds == {}
 
     def test_each_builder_runs_at_most_once(self, graph, monkeypatch):
         counters = {name: _count_calls(monkeypatch, name) for name in BUILDERS}
-        index = BestKIndex(graph)
+        index = BestKIndex(graph, jobs=1, store=False)
         for _ in range(2):  # everything twice: second pass must be free
             index.score_set_all_metrics(PAPER_METRICS)
             index.score_cores_all_metrics(PAPER_METRICS)
@@ -158,7 +168,7 @@ class TestLaziness:
 
     def test_non_triangle_metrics_skip_triangle_pass(self, graph, monkeypatch):
         tri_calls = _count_calls(monkeypatch, "triangles_by_min_rank_vertex")
-        index = BestKIndex(graph)
+        index = BestKIndex(graph, jobs=1, store=False)
         for metric in NON_TRIANGLE_METRICS:
             index.set_scores(metric)
             index.core_scores(metric)
@@ -171,11 +181,12 @@ class TestLaziness:
         assert len(tri_calls) == 1
 
     def test_set_queries_never_build_forest(self, graph):
-        index = BestKIndex(graph)
+        index = BestKIndex(graph, jobs=1, store=False)
         index.score_set_all_metrics(PAPER_METRICS)
         assert "core:forest" not in index.built_artifacts()
 
-    def test_build_seconds_cover_built_artifacts(self, index):
+    def test_build_seconds_cover_built_artifacts(self, graph):
+        index = BestKIndex(graph, jobs=1, store=False)
         index.set_scores("clustering_coefficient")
         assert set(index.build_seconds) == set(index.built_artifacts())
         assert all(t >= 0.0 for t in index.build_seconds.values())

@@ -1,0 +1,310 @@
+"""Tests for :mod:`repro.index.store` — the persistent artifact cache.
+
+Three pillars:
+
+* **Warm-start identity** — a second index over the same cache answers
+  every query bit-identically *without running the builders* (counted via
+  monkeypatched builders, same technique as ``test_index.py``).
+* **Invalidation** — anything that could change an answer routes to a
+  different bundle (weight contents, family params, kernel backend,
+  format version) and anything that could corrupt one (truncated array,
+  mangled manifest, missing file) is discarded and rebuilt.  A cache can
+  cost time, never correctness.
+* **Plumbing** — ``resolve_store`` / ``REPRO_CACHE_DIR`` semantics and
+  the ``bestk cache {ls,clear,warm}`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.index.bestk_index as bi
+from repro import BestKIndex
+from repro.core import PAPER_METRICS
+from repro.engine import get_family
+from repro.graph import Graph
+from repro.index import ArtifactStore, resolve_store
+from repro.index.store import persisted_names
+
+from conftest import random_graph
+
+
+@pytest.fixture(scope="module")
+def graph() -> Graph:
+    return random_graph(130, 650, seed=31)
+
+
+@pytest.fixture()
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "cache")
+
+
+def _count_calls(monkeypatch, name: str) -> list:
+    calls: list = []
+    original = getattr(bi, name)
+
+    def counted(*args, **kwargs):
+        calls.append(name)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(bi, name, counted)
+    return calls
+
+
+def _answers(index: BestKIndex) -> dict:
+    out = {}
+    for metric, r in index.best_set_all_metrics(PAPER_METRICS).items():
+        out[("set", metric)] = (r.k, r.score)
+    for metric, r in index.best_core_all_metrics(PAPER_METRICS).items():
+        out[("core", metric)] = (r.k, r.score, r.node_id)
+    return out
+
+
+class TestWarmStart:
+    def test_warm_index_is_bit_identical_and_build_free(
+        self, graph, store, monkeypatch
+    ):
+        plain = BestKIndex(graph, jobs=1, store=False)
+        expected = _answers(plain)
+
+        cold = BestKIndex(graph, jobs=1, store=store)
+        assert _answers(cold) == expected
+        assert cold.total_build_seconds() > 0.0
+
+        counters = {
+            name: _count_calls(monkeypatch, name)
+            for name in ("order_vertices", "build_core_forest",
+                         "triangles_by_min_rank_vertex")
+        }
+        warm = BestKIndex(graph, jobs=1, store=store)
+        assert _answers(warm) == expected
+        for name, calls in counters.items():
+            assert calls == [], f"{name} ran on a warm cache"
+        assert warm.hydrate_seconds > 0.0
+        # Hydrated artifacts keep the built == timed invariant at zero cost.
+        assert set(warm.build_seconds) == set(warm.built_artifacts())
+
+    def test_warm_scores_arrays_equal(self, graph, store):
+        cold = BestKIndex(graph, jobs=1, store=store)
+        cold_scores = {m: cold.set_scores(m).scores for m in PAPER_METRICS}
+        warm = BestKIndex(graph, jobs=1, store=store)
+        for m in PAPER_METRICS:
+            assert np.array_equal(
+                cold_scores[m], warm.set_scores(m).scores, equal_nan=True
+            )
+
+    def test_parallel_prebuild_populates_the_store(self, graph, store):
+        par = BestKIndex(graph, jobs=2, store=store)
+        par.prebuild(("core",), problem2=True)
+        keys = {b.family for b in store.bundles()}
+        assert "core" in keys
+        warm = BestKIndex(graph, jobs=1, store=store)
+        assert warm.best_set("average_degree").k == par.best_set("average_degree").k
+
+
+class TestInvalidation:
+    def test_different_graphs_use_different_bundles(self, store):
+        fam = get_family("core")
+        a = random_graph(40, 120, seed=1)
+        b = random_graph(40, 120, seed=2)
+        assert store.bundle_key(a, fam, {}, "numpy") != store.bundle_key(b, fam, {}, "numpy")
+
+    def test_backend_changes_the_bundle(self, graph, store):
+        fam = get_family("core")
+        assert store.bundle_key(graph, fam, {}, "numpy") != store.bundle_key(
+            graph, fam, {}, "python"
+        )
+
+    def test_weighted_key_tracks_contents_not_identity(self, graph, store):
+        fam = get_family("weighted")
+        w = np.random.default_rng(9).lognormal(size=graph.num_edges)
+        same = store.bundle_key(graph, fam, {"edge_weights": w.copy()}, "numpy")
+        assert store.bundle_key(graph, fam, {"edge_weights": w}, "numpy") == same
+        mutated = w.copy()
+        mutated[0] += 1.0
+        assert store.bundle_key(graph, fam, {"edge_weights": mutated}, "numpy") != same
+
+    def test_mutated_weights_rebuild_not_stale(self, graph, store):
+        w1 = np.random.default_rng(9).lognormal(size=graph.num_edges)
+        w2 = w1.copy()
+        w2[: graph.num_edges // 2] *= 3.0
+        index1 = BestKIndex(graph, jobs=1, store=store)
+        r1 = index1.best_level("weighted", "weighted_average_degree", edge_weights=w1)
+        index2 = BestKIndex(graph, jobs=1, store=store)
+        r2 = index2.best_level("weighted", "weighted_average_degree", edge_weights=w2)
+        plain = BestKIndex(graph, jobs=1, store=False)
+        f2 = plain.best_level("weighted", "weighted_average_degree", edge_weights=w2)
+        assert (r2.k, r2.score) == (f2.k, f2.score)
+        # Both parametrisations coexist as separate bundles; replaying the
+        # first from a third process still hits and still matches.
+        index3 = BestKIndex(graph, jobs=1, store=store)
+        r1b = index3.best_level("weighted", "weighted_average_degree", edge_weights=w1)
+        assert (r1b.k, r1b.score) == (r1.k, r1.score)
+
+    def test_ecc_max_k_params_separate_bundles(self, store):
+        g = random_graph(30, 80, seed=4)
+        fam = get_family("ecc")
+        assert store.bundle_key(g, fam, {"max_k": 2}, "numpy") != store.bundle_key(
+            g, fam, {"max_k": None}, "numpy"
+        )
+        cold = BestKIndex(g, jobs=1, store=store)
+        r_cold = cold.best_level("ecc", "average_degree", max_k=2)
+        warm = BestKIndex(g, jobs=1, store=store)
+        r_warm = warm.best_level("ecc", "average_degree", max_k=2)
+        plain = BestKIndex(g, jobs=1, store=False)
+        r_plain = plain.best_level("ecc", "average_degree", max_k=2)
+        assert (r_cold.k, r_cold.score) == (r_warm.k, r_warm.score) == (r_plain.k, r_plain.score)
+
+    def test_format_version_mismatch_discards(self, graph, store):
+        fam = get_family("core")
+        index = BestKIndex(graph, jobs=1, store=store)
+        index.best_set("average_degree")
+        backend = index.backend_name
+        bundle = store.bundle_dir(graph, fam, {}, backend)
+        meta = json.loads((bundle / "meta.json").read_text())
+        meta["format"] = 999
+        (bundle / "meta.json").write_text(json.dumps(meta))
+        assert store.load_bundle(graph, fam, {}, backend) is None
+        assert not bundle.exists()  # discarded, not left to rot
+
+
+class TestCorruption:
+    """Every corruption lands as a miss + clean rebuild, never a wrong answer."""
+
+    def _seed(self, graph, store) -> dict:
+        index = BestKIndex(graph, jobs=1, store=store)
+        return _answers(index)
+
+    def _assert_rebuilds(self, graph, store, expected) -> None:
+        index = BestKIndex(graph, jobs=1, store=store)
+        assert _answers(index) == expected
+        assert index.total_build_seconds() > 0.0  # it really rebuilt
+
+    def test_corrupt_manifest(self, graph, store):
+        expected = self._seed(graph, store)
+        bundle = store.bundles()[0].path
+        (bundle / "meta.json").write_text("{not json")
+        self._assert_rebuilds(graph, store, expected)
+
+    def test_truncated_array_file(self, graph, store):
+        expected = self._seed(graph, store)
+        bundle = store.bundles()[0].path
+        target = sorted(bundle.glob("*.npy"))[0]
+        target.write_bytes(target.read_bytes()[: 40])
+        self._assert_rebuilds(graph, store, expected)
+
+    def test_missing_array_file(self, graph, store):
+        expected = self._seed(graph, store)
+        bundle = store.bundles()[0].path
+        sorted(bundle.glob("*.npy"))[0].unlink()
+        self._assert_rebuilds(graph, store, expected)
+
+    def test_shape_mismatch(self, graph, store):
+        expected = self._seed(graph, store)
+        bundle = store.bundles()[0].path
+        target = sorted(bundle.glob("*.npy"))[0]
+        np.save(target, np.arange(3, dtype=np.int64))
+        self._assert_rebuilds(graph, store, expected)
+
+
+class TestPlumbing:
+    def test_resolve_store_false_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert resolve_store(False) is None
+
+    def test_resolve_store_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        st = resolve_store(None)
+        assert isinstance(st, ArtifactStore)
+        assert st.root == tmp_path / "c"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert resolve_store(None) is None
+
+    def test_resolve_store_passthrough_and_path(self, tmp_path):
+        st = ArtifactStore(tmp_path)
+        assert resolve_store(st) is st
+        assert resolve_store(tmp_path).root == tmp_path
+
+    def test_persisted_names_gating(self):
+        assert "forest" in persisted_names(get_family("core"))
+        assert "ordering" not in persisted_names(get_family("core"))
+        assert persisted_names(get_family("truss")) == (
+            "decompose", "ordering", "level_totals", "triangles", "level_triangles",
+        )
+        assert "triangles" not in persisted_names(get_family("weighted"))
+
+    def test_save_artifact_skips_ineligible_names(self, graph, store):
+        fam = get_family("core")
+        index = BestKIndex(graph, jobs=1, store=False)
+        assert store.save_artifact(graph, fam, {}, "numpy", "levels", index.artifact(fam, "levels")) is False
+        assert store.save_artifact(graph, fam, {}, "numpy", "decompose", index.decomposition) is True
+
+    def test_clear_empties_the_root(self, graph, store):
+        BestKIndex(graph, jobs=1, store=store).best_set("average_degree")
+        assert store.bundles()
+        assert store.clear() >= 1
+        assert store.bundles() == []
+
+    def test_empty_graph_round_trip(self, store):
+        for empty in (Graph.empty(0), Graph.empty(5)):
+            cold = BestKIndex(empty, jobs=1, store=store)
+            cold_scores = cold.set_scores("average_degree").scores
+            warm = BestKIndex(empty, jobs=1, store=store)
+            assert np.array_equal(
+                cold_scores, warm.set_scores("average_degree").scores, equal_nan=True
+            )
+
+
+class TestCacheCli:
+    @pytest.fixture()
+    def edge_file(self, tmp_path):
+        g = random_graph(60, 200, seed=12)
+        lines = []
+        for u in range(g.num_vertices):
+            for v in g.neighbors(u):
+                if u < v:
+                    lines.append(f"{u} {v}")
+        path = tmp_path / "graph.txt"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_warm_ls_clear_cycle(self, tmp_path, edge_file, capsys):
+        from repro.cli import main
+
+        cache = str(tmp_path / "clicache")
+        assert main(["cache", "warm", edge_file, "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "warmed core" in out and "warmed truss" in out
+
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "2 bundle(s)" in out
+
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "removed 2 bundle(s)" in out
+
+        assert main(["cache", "ls", "--cache-dir", cache]) == 0
+        assert "0 bundle(s)" in capsys.readouterr().out
+
+    def test_cache_requires_a_directory(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "ls"]) == 1
+        assert "no cache directory" in capsys.readouterr().err
+
+    def test_set_command_uses_the_cache(self, tmp_path, edge_file, capsys):
+        from repro.cli import main
+
+        cache = str(tmp_path / "setcache")
+        assert main(["set", edge_file, "--all-metrics", "--cache-dir", cache]) == 0
+        cold_out = capsys.readouterr().out
+        assert main(["set", edge_file, "--all-metrics", "--cache-dir", cache]) == 0
+        warm_out = capsys.readouterr().out
+        # Same answers either way; the warm run reports a (near-)zero build.
+        assert cold_out.splitlines()[:6] == warm_out.splitlines()[:6]
+        assert ArtifactStore(cache).bundles()
