@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Benchmark the overhead of the :mod:`repro.obs` tracing layer.
+
+The observability contract says instrumentation is free to *watch* but
+never to *cost*: with the recorder disabled (``REPRO_OBS=0``) the span
+and counter calls must be cheap enough that the full index workload runs
+within 5% of a hypothetical uninstrumented build.  This benchmark
+measures exactly that, three ways per synthetic dataset:
+
+* **disabled** — ``obs.disable()``: every ``obs.span`` returns the shared
+  no-op context manager and counters early-return.  This is the
+  "instrumentation compiled out" baseline.
+* **enabled** — the default always-on in-memory recorder.
+* **traced** — recorder plus a JSONL sink streaming every span to disk
+  (the ``--trace`` / ``REPRO_TRACE`` configuration).
+
+The workload is one cold :class:`repro.index.BestKIndex` answering the
+full cross-metric query load (Problem 1 + Problem 2), repeated and
+min-timed; answers are asserted identical across all three modes.
+
+Results land in ``BENCH_obs.json``::
+
+    {"datasets": [{"dataset": ..., "modes": {...},
+                   "enabled_overhead_pct": ..., "traced_overhead_pct": ...}],
+     "acceptance": {...}, "metadata": {...}}
+
+Acceptance bar (largest dataset of a full run): *disabled*-mode overhead
+is by construction zero, and **enabled**-mode overhead < 5% over
+disabled.  Tracing-to-disk overhead is recorded but not enforced — it
+buys a replayable artifact and is off by default.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py            # full suite
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_obs.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from _machine import machine_metadata
+from repro import obs
+from repro.bench.harness import execution_metadata
+from repro.core import PAPER_METRICS
+from repro.generators.random_graphs import powerlaw_chung_lu
+from repro.generators.rmat import rmat_graph
+from repro.index import BestKIndex
+from repro.kernels import get_backend
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+SUITE = {
+    "cl-30k": lambda: powerlaw_chung_lu(8_000, 8.0, 2.3, seed=7),
+    "rmat-120k": lambda: rmat_graph(14, 120_000, seed=7),
+    "cl-200k": lambda: powerlaw_chung_lu(40_000, 8.0, 2.3, seed=7),
+}
+SMOKE_SUITE = {
+    "cl-1k": lambda: powerlaw_chung_lu(500, 4.0, 2.3, seed=7),
+}
+
+REPEATS = 5
+SMOKE_REPEATS = 3
+
+
+def _workload(graph, backend) -> dict:
+    """One cold index answering the full query load; returns the answers."""
+    index = BestKIndex(graph, backend=backend, jobs=1, store=False)
+    out = {}
+    for metric, result in index.best_set_all_metrics(PAPER_METRICS).items():
+        out[("set", metric)] = (result.k, result.score)
+    for metric, result in index.best_core_all_metrics(PAPER_METRICS).items():
+        out[("core", metric)] = (result.k, result.score)
+    return out
+
+
+def _timed(graph, backend, repeats: int) -> tuple[float, dict]:
+    """Min-of-N wall time of the workload plus its (stable) answers."""
+    best = float("inf")
+    answers = None
+    for _ in range(repeats):
+        obs.reset()
+        start = time.perf_counter()
+        answers = _workload(graph, backend)
+        best = min(best, time.perf_counter() - start)
+    return best, answers
+
+
+def bench_dataset(name: str, graph, backend, repeats: int) -> dict:
+    n, m = graph.num_vertices, graph.num_edges
+    print(f"[{name}] n={n} m={m}", flush=True)
+
+    obs.disable()
+    disabled_seconds, baseline = _timed(graph, backend, repeats)
+    obs.enable()
+    enabled_seconds, enabled_answers = _timed(graph, backend, repeats)
+    assert enabled_answers == baseline, f"{name}: tracing changed answers"
+    span_count = len(obs.spans())
+
+    with tempfile.TemporaryDirectory(prefix="bestk-bench-obs-") as tmp:
+        sink = obs.JsonlSink(os.path.join(tmp, "trace.jsonl"))
+        obs.get_recorder().add_sink(sink)
+        try:
+            traced_seconds, traced_answers = _timed(graph, backend, repeats)
+        finally:
+            obs.get_recorder().remove_sink(sink)
+            sink.close()
+    assert traced_answers == baseline, f"{name}: the JSONL sink changed answers"
+    obs.reset()
+
+    def pct(mode_seconds: float) -> float:
+        return round((mode_seconds / max(disabled_seconds, 1e-9) - 1.0) * 100, 2)
+
+    row = {
+        "dataset": name,
+        "n": n,
+        "m": m,
+        "queries": len(baseline),
+        "spans_per_run": span_count,
+        "repeats": repeats,
+        "modes": {
+            "disabled": {"seconds": round(disabled_seconds, 6)},
+            "enabled": {"seconds": round(enabled_seconds, 6)},
+            "traced": {"seconds": round(traced_seconds, 6)},
+        },
+        "enabled_overhead_pct": pct(enabled_seconds),
+        "traced_overhead_pct": pct(traced_seconds),
+        "identical": True,
+        "execution": execution_metadata(jobs=1, cache_dir=None),
+    }
+    print(
+        f"  disabled {disabled_seconds * 1e3:9.1f} ms   "
+        f"enabled {enabled_seconds * 1e3:9.1f} ms ({row['enabled_overhead_pct']:+.2f}%)   "
+        f"traced {traced_seconds * 1e3:9.1f} ms ({row['traced_overhead_pct']:+.2f}%)   "
+        f"[{span_count} spans/run]",
+        flush=True,
+    )
+    return row
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny graphs only (CI smoke test; acceptance bar not enforced)",
+    )
+    parser.add_argument(
+        "-o", "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT.name} at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    backend = get_backend()
+    suite = SMOKE_SUITE if args.smoke else SUITE
+    repeats = SMOKE_REPEATS if args.smoke else REPEATS
+    rows = [
+        bench_dataset(name, factory(), backend, repeats)
+        for name, factory in suite.items()
+    ]
+
+    largest = rows[-1]
+    acceptance = {
+        "largest_dataset": largest["dataset"],
+        "enabled_overhead_pct": largest["enabled_overhead_pct"],
+        "enabled_overhead_target_pct": 5.0,
+        "traced_overhead_pct": largest["traced_overhead_pct"],
+        "identical": all(r["identical"] for r in rows),
+        "enforced": not args.smoke,
+    }
+    report = {
+        "datasets": rows,
+        "acceptance": acceptance,
+        "metadata": machine_metadata(backend.name),
+        "output": {"smoke": args.smoke},
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+    print(
+        f"{largest['dataset']}: enabled-recorder overhead "
+        f"{acceptance['enabled_overhead_pct']:+.2f}% "
+        f"(target < {acceptance['enabled_overhead_target_pct']:.0f}%), "
+        f"traced {acceptance['traced_overhead_pct']:+.2f}% (informational)"
+    )
+    if not args.smoke:
+        if acceptance["enabled_overhead_pct"] >= acceptance["enabled_overhead_target_pct"]:
+            print("acceptance bar NOT met", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

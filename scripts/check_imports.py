@@ -16,6 +16,12 @@ Layering (DESIGN.md, engine section):
   the index: may use ``graph``/``errors``, must not import the engine, a
   family package, or anything higher (families never fan themselves out;
   only ``repro.index`` and the apps layer schedule work).
+* ``repro.obs`` — the observability leaf: stdlib only, must not import
+  *anything* from ``repro``.  Conversely the family packages, ``graph``
+  and ``errors`` must never import it — algorithm code stays free of
+  instrumentation; spans are emitted by the infrastructure layers that
+  call it (``kernels``, ``engine``, ``parallel``, ``index``, ``bench``,
+  ``cli``).
 * everything else (``index``, ``apps``, ``bench``, ``cli``, ...) — higher
   layers, unconstrained.
 
@@ -40,17 +46,27 @@ PACKAGE = "repro"
 
 FAMILY_PACKAGES = ("core", "truss", "weighted", "ecc")
 
+#: every repro subpackage with layering significance; ``obs`` may import
+#: none of them (it is a stdlib-only leaf).
+ALL_LAYERS = (
+    "graph", "errors", "kernels", "engine", "parallel", "index",
+    "apps", "bench", "cli", "generators", "viz",
+) + FAMILY_PACKAGES
+
 #: subpackage -> the repro subpackages it must never import.
 FORBIDDEN: dict[str, tuple[str, ...]] = {
-    "graph": ("engine", "parallel", "index", "apps", "bench", "cli") + FAMILY_PACKAGES,
-    "errors": ("engine", "parallel", "index", "apps", "bench", "cli") + FAMILY_PACKAGES,
+    "obs": ALL_LAYERS,
+    "graph": ("engine", "parallel", "index", "apps", "bench", "cli", "obs")
+    + FAMILY_PACKAGES,
+    "errors": ("engine", "parallel", "index", "apps", "bench", "cli", "obs")
+    + FAMILY_PACKAGES,
     "kernels": ("engine", "parallel", "index", "apps", "bench", "cli") + FAMILY_PACKAGES,
     "engine": FAMILY_PACKAGES + ("parallel", "index", "apps", "bench", "cli"),
     "parallel": FAMILY_PACKAGES + ("engine", "index", "apps", "bench", "cli"),
 }
 for _family in FAMILY_PACKAGES:
     FORBIDDEN[_family] = tuple(f for f in FAMILY_PACKAGES if f != _family) + (
-        "parallel", "index", "apps", "bench", "cli",
+        "parallel", "index", "apps", "bench", "cli", "obs",
     )
 
 

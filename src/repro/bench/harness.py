@@ -42,8 +42,13 @@ def execution_metadata(
     the artifact-cache directory (argument or ``REPRO_CACHE_DIR``) and the
     cache temperature — ``"off"`` without a cache, else the caller's
     ``cache_state`` (``"cold"`` / ``"warm"``), or ``"unknown"`` when the
-    caller did not track it.
+    caller did not track it.  An ``obs`` block carries the compact
+    :func:`repro.obs.summary` of the run so far — span and counter totals
+    that say what the benchmark *actually did* (kernel dispatches per
+    backend, pool vs serial maps, store hits) rather than what its knobs
+    requested.
     """
+    from .. import obs
     from ..parallel import resolve_jobs, shm_available
 
     if cache_dir is None:
@@ -56,6 +61,7 @@ def execution_metadata(
         "shm_available": shm_available(),
         "cache_dir": None if cache_dir is None else str(cache_dir),
         "cache_state": cache_state,
+        "obs": obs.summary(),
     }
 
 

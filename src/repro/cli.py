@@ -17,6 +17,8 @@ Installed as the ``bestk`` console script (also ``python -m repro``):
 * ``bestk report [--out DIR]``         — all experiments into one REPORT.md
 * ``bestk datasets``                   — list the stand-in registry
 * ``bestk cache {ls,clear,warm}``      — manage the persistent artifact cache
+* ``bestk stats TRACE``                — render a ``--trace`` JSONL file as
+  a span tree + counter table (``--prometheus`` for text exposition)
 
 ``GRAPH`` is either an edge-list path (gzip OK) or ``dataset:KEY`` for a
 registry stand-in (e.g. ``dataset:DBLP``).
@@ -24,7 +26,10 @@ registry stand-in (e.g. ``dataset:DBLP``).
 The index-backed commands (``set``/``core``/``truss``, ``cache warm``)
 accept ``--jobs N`` (parallel prebuild; ``REPRO_JOBS`` is the default)
 and ``--cache-dir PATH`` (persistent artifact cache; ``REPRO_CACHE_DIR``
-is the default).  Every exit path — success, error, Ctrl-C — releases any
+is the default).  They also accept ``--trace FILE`` — equivalent to the
+``REPRO_TRACE`` environment variable — which appends the run's
+:mod:`repro.obs` spans and counters as JSON lines for ``bestk stats``
+to replay.  Every exit path — success, error, Ctrl-C — releases any
 shared-memory segments the parallel layer created.
 """
 
@@ -34,7 +39,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from . import __version__
+from . import __version__, obs
 from .bench import render_series, workloads
 from .core import (
     PAPER_METRICS,
@@ -89,6 +94,11 @@ def _index_args(p: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None,
         help="persistent artifact cache directory "
              "(default: REPRO_CACHE_DIR, or no cache)",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="append obs spans/counters to FILE as JSON lines "
+             "(same as REPRO_TRACE; inspect with 'bestk stats FILE')",
     )
 
 
@@ -167,6 +177,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the dataset stand-in registry")
 
+    p = sub.add_parser("stats", help="render a --trace JSONL file")
+    p.add_argument("trace", help="trace file written by --trace / REPRO_TRACE")
+    p.add_argument(
+        "--prometheus", action="store_true",
+        help="emit counters in Prometheus text exposition format instead",
+    )
+    p.add_argument(
+        "--max-depth", type=int, default=None,
+        help="truncate the span tree below this depth",
+    )
+
     p = sub.add_parser("cache", help="manage the persistent artifact cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
     pc = cache_sub.add_parser("ls", help="list cached bundles")
@@ -211,61 +232,65 @@ def _cmd_bestk(args, which: str) -> int:
     # ordering, forest, triangle charges) are built once and reused, which
     # is the whole point of --all-metrics.  --jobs prebuilds them across
     # worker processes; --cache-dir persists them for the next invocation.
-    index = BestKIndex(graph, jobs=args.jobs, store=args.cache_dir or None)
-    start = time.perf_counter()
-    if which == "core":
-        # Problem 2 stays core-specific (Algorithm 5 over the core forest).
-        metrics = PAPER_METRICS if args.all_metrics else (args.metric or "average_degree",)
-        if resolve_jobs(index.jobs) > 1:
-            index.prebuild(("core",), metrics=tuple(metrics), problem2=True)
-        for metric in metrics:
-            result = best_single_kcore(graph, metric, index=index)
-            print(
-                f"{metric}: best k = {result.k}, score = {result.score:.6g}, "
-                f"|V| = {len(result.vertices)}"
-            )
-    else:
-        family = get_family("truss" if which == "truss" else args.family)
-        params = {}
-        if family.name == "weighted":
-            import numpy as np
+    with obs.span(
+        "cli:" + which, n=graph.num_vertices, m=graph.num_edges,
+        all_metrics=bool(args.all_metrics),
+    ):
+        index = BestKIndex(graph, jobs=args.jobs, store=args.cache_dir or None)
+        start = time.perf_counter()
+        if which == "core":
+            # Problem 2 stays core-specific (Algorithm 5 over the core forest).
+            metrics = PAPER_METRICS if args.all_metrics else (args.metric or "average_degree",)
+            if resolve_jobs(index.jobs) > 1:
+                index.prebuild(("core",), metrics=tuple(metrics), problem2=True)
+            for metric in metrics:
+                result = best_single_kcore(graph, metric, index=index)
+                print(
+                    f"{metric}: best k = {result.k}, score = {result.score:.6g}, "
+                    f"|V| = {len(result.vertices)}"
+                )
+        else:
+            family = get_family("truss" if which == "truss" else args.family)
+            params = {}
+            if family.name == "weighted":
+                import numpy as np
 
-            rng = np.random.default_rng(args.weights_seed)
-            params = {
-                "edge_weights": rng.lognormal(mean=0.0, sigma=0.75, size=graph.num_edges),
-                "num_levels": args.num_levels,
-            }
+                rng = np.random.default_rng(args.weights_seed)
+                params = {
+                    "edge_weights": rng.lognormal(mean=0.0, sigma=0.75, size=graph.num_edges),
+                    "num_levels": args.num_levels,
+                }
+                print(
+                    f"# synthetic log-normal edge weights "
+                    f"(seed {args.weights_seed}, {args.num_levels} quantised levels)"
+                )
+            metrics = (
+                family.batch_metrics if args.all_metrics
+                else (args.metric or family.default_metric,)
+            )
+            if resolve_jobs(index.jobs) > 1:
+                index.prebuild(
+                    (family.name,), metrics=tuple(metrics),
+                    family_params={family.name: params},
+                )
+            for metric in metrics:
+                result = index.best_level(family, metric, **params)
+                print(
+                    f"{metric}: best k = {result.k}, score = {result.score:.6g}, "
+                    f"|V| = {len(result.vertices)}"
+                )
+        if args.all_metrics:
+            total = time.perf_counter() - start
+            build = index.total_build_seconds()
             print(
-                f"# synthetic log-normal edge weights "
-                f"(seed {args.weights_seed}, {args.num_levels} quantised levels)"
+                f"index built once in {build:.3f}s; "
+                f"scoring all {len(metrics)} metrics took {max(total - build, 0.0):.3f}s"
             )
-        metrics = (
-            family.batch_metrics if args.all_metrics
-            else (args.metric or family.default_metric,)
-        )
-        if resolve_jobs(index.jobs) > 1:
-            index.prebuild(
-                (family.name,), metrics=tuple(metrics),
-                family_params={family.name: params},
-            )
-        for metric in metrics:
-            result = index.best_level(family, metric, **params)
-            print(
-                f"{metric}: best k = {result.k}, score = {result.score:.6g}, "
-                f"|V| = {len(result.vertices)}"
-            )
-    if args.all_metrics:
-        total = time.perf_counter() - start
-        build = index.total_build_seconds()
-        print(
-            f"index built once in {build:.3f}s; "
-            f"scoring all {len(metrics)} metrics took {max(total - build, 0.0):.3f}s"
-        )
-        for fam_name in index.built_families():
-            split = ", ".join(
-                f"{k}={v:.3f}s" for k, v in index.phase_seconds(fam_name).items() if v
-            )
-            print(f"  {fam_name}: {split}")
+            for fam_name in index.built_families():
+                split = ", ".join(
+                    f"{k}={v:.3f}s" for k, v in index.phase_seconds(fam_name).items() if v
+                )
+                print(f"  {fam_name}: {split}")
     return 0
 
 
@@ -364,6 +389,28 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from .obs import (
+        load_trace,
+        prometheus_text,
+        render_counter_table,
+        render_span_tree,
+    )
+
+    data = load_trace(args.trace)
+    if args.prometheus:
+        print(prometheus_text(data["counters"], data["gauges"]), end="")
+        return 0
+    if data["spans"]:
+        print(render_span_tree(data["spans"], max_depth=args.max_depth))
+    else:
+        print("(no spans recorded)")
+    if data["counters"] or data["gauges"]:
+        print()
+        print(render_counter_table(data["counters"], data["gauges"]))
+    return 0
+
+
 def _cmd_datasets(_args) -> int:
     for spec in DATASETS:
         paper = spec.paper
@@ -376,6 +423,8 @@ def _cmd_datasets(_args) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "trace", None):
+        obs.configure_trace(args.trace)
     try:
         if args.command == "decompose":
             return _cmd_decompose(args)
@@ -403,6 +452,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_datasets(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
@@ -417,6 +468,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .parallel import cleanup_shared_memory
 
         cleanup_shared_memory()
+        # Counter totals reach the trace file even on error exits.
+        obs.flush_sinks()
     return 2
 
 

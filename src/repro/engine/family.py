@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..errors import MetricRequirementError, UnknownFamilyError
 from .levels import (
     LevelOrdering,
@@ -290,33 +291,38 @@ def family_set_scores(
     metric = fam.resolve_metric(metric)
     if index is not None:
         return index.level_scores(fam, metric, **params)
-    if decomposition is None:
-        decomposition = fam.decompose(graph, backend=backend, **params)
-    levels = fam.levels(decomposition, **params)
-    if ordering is None:
-        ordering = fam.ordering(graph, levels)
-    totals = fam.totals(graph, decomposition, **params)
+    with obs.span(
+        "engine:set_scores", family=fam.name, metric=metric.name, phase="score"
+    ):
+        if decomposition is None:
+            decomposition = fam.decompose(graph, backend=backend, **params)
+        levels = fam.levels(decomposition, **params)
+        if ordering is None:
+            ordering = fam.ordering(graph, levels)
+        totals = fam.totals(graph, decomposition, **params)
 
-    twice_inside, boundary = fam.charges(graph, decomposition, levels, ordering, **params)
-    num_k, twice_in_k, out_k = accumulate_level_totals(
-        twice_inside, boundary, ordering.order, ordering.level_start
-    )
-    tri_k = trip_k = None
-    if fam.metric_requires_triangles(metric):
-        if not fam.supports_triangles:
-            raise MetricRequirementError(
-                f"family {fam.name!r} does not support triangle-based metrics"
-            )
-        tri_new, trip_new = triangle_level_increments(
-            ordering, ordering.order, ordering.level_start, backend=backend
+        twice_inside, boundary = fam.charges(
+            graph, decomposition, levels, ordering, **params
         )
-        tri_k = cumulate_from_top(tri_new)
-        trip_k = cumulate_from_top(trip_new)
-    thresholds = fam.thresholds(decomposition, len(num_k) - 2, **params)
-    return scores_from_level_totals(
-        metric, totals, num_k, twice_in_k, out_k, tri_k, trip_k,
-        make_values=fam.make_values, thresholds=thresholds,
-    )
+        num_k, twice_in_k, out_k = accumulate_level_totals(
+            twice_inside, boundary, ordering.order, ordering.level_start
+        )
+        tri_k = trip_k = None
+        if fam.metric_requires_triangles(metric):
+            if not fam.supports_triangles:
+                raise MetricRequirementError(
+                    f"family {fam.name!r} does not support triangle-based metrics"
+                )
+            tri_new, trip_new = triangle_level_increments(
+                ordering, ordering.order, ordering.level_start, backend=backend
+            )
+            tri_k = cumulate_from_top(tri_new)
+            trip_k = cumulate_from_top(trip_new)
+        thresholds = fam.thresholds(decomposition, len(num_k) - 2, **params)
+        return scores_from_level_totals(
+            metric, totals, num_k, twice_in_k, out_k, tri_k, trip_k,
+            make_values=fam.make_values, thresholds=thresholds,
+        )
 
 
 def baseline_family_set_scores(

@@ -62,6 +62,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..core.bestk_core import (
     BestCoreResult,
     KCoreScores,
@@ -194,15 +195,30 @@ class BestKIndex:
         ``(family, params)`` pair and a store is configured, a freshly
         built value is offered to the store (which decides eligibility);
         store I/O failures never fail the query.
+
+        Each build also runs inside an ``index:build`` :mod:`repro.obs`
+        span carrying the artifact key, its paper phase and the exact
+        ``build_seconds`` charged here — a trace re-derives
+        :meth:`phase_seconds` from span attributes alone.  The timing
+        arithmetic itself is span-independent (plain ``perf_counter``), so
+        tracing on or off never changes the recorded numbers' provenance.
         """
         if key not in self._artifacts:
-            nested_before = sum(self.build_seconds.values())
-            start = time.perf_counter()
-            value = builder()
-            elapsed = time.perf_counter() - start
-            nested = sum(self.build_seconds.values()) - nested_before
-            self._artifacts[key] = value
-            self.build_seconds[key] = max(elapsed - nested, 0.0)
+            fam_name, _, art_name = key.partition(":")
+            with obs.span(
+                "index:build",
+                artifact=key,
+                phase=_PHASE_BY_ARTIFACT.get(art_name, "other"),
+            ) as sp:
+                nested_before = sum(self.build_seconds.values())
+                start = time.perf_counter()
+                value = builder()
+                elapsed = time.perf_counter() - start
+                nested = sum(self.build_seconds.values()) - nested_before
+                self._artifacts[key] = value
+                self.build_seconds[key] = max(elapsed - nested, 0.0)
+                sp.set_attr("build_seconds", self.build_seconds[key])
+            obs.add("index.build", family=fam_name, artifact=art_name)
             if persist is not None and self.store is not None:
                 fam, params = persist
                 try:
@@ -245,12 +261,15 @@ class BestKIndex:
         if self.store is None or not fam.supports_store or fam.name in self._hydrated:
             return
         self._hydrated.add(fam.name)
-        start = time.perf_counter()
-        try:
-            loaded = self.store.load_bundle(self.graph, fam, params, self.backend_name)
-        except OSError:
-            loaded = None
-        self.hydrate_seconds += time.perf_counter() - start
+        with obs.span("index:hydrate", family=fam.name, phase="hydrate") as sp:
+            start = time.perf_counter()
+            try:
+                loaded = self.store.load_bundle(self.graph, fam, params, self.backend_name)
+            except OSError:
+                loaded = None
+            seconds = time.perf_counter() - start
+            self.hydrate_seconds += seconds
+            sp.update(hit=bool(loaded), hydrate_seconds=seconds)
         if loaded:
             self._absorb(fam, loaded)
 
@@ -455,9 +474,22 @@ class BestKIndex:
         Families whose params are invalid (exactly the errors the serial
         sweeps skip) are skipped.  Returns the per-family tuple of planned
         artifact names now present.
+
+        The whole fan-out runs inside an ``index:prebuild``
+        :mod:`repro.obs` span; spans recorded by pool workers are shipped
+        back with the artifact payloads and grafted beneath it, so a trace
+        shows child-process builds nested exactly where they logically
+        happened.
         """
+        with obs.span("index:prebuild", phase="prebuild") as sp:
+            return self._prebuild(
+                families, metrics, family_params, problem2, jobs, sp
+            )
+
+    def _prebuild(self, families, metrics, family_params, problem2, jobs, sp):
         family_params = family_params or {}
         workers = resolve_jobs(self.jobs if jobs is None else jobs)
+        sp.update(jobs=workers)
         planned: list[tuple[HierarchyFamily, dict, list[str]]] = []
         for family in families:
             fam = get_family(family)
@@ -476,8 +508,10 @@ class BestKIndex:
                 if group:
                     tasks.append((fam, params, tuple(group)))
 
+        sp.update(tasks=len(tasks), families=",".join(f.name for f, _, _ in planned))
         if workers > 1 and len(tasks) > 1:
             with shared_graph(self.graph) as sg:
+                sp.set_attr("shm_mode", sg.handle.mode)
                 results = parallel_map(
                     build_family_artifacts,
                     [
@@ -486,7 +520,13 @@ class BestKIndex:
                     ],
                     jobs=workers,
                 )
-            for (fam, params, _), (_, payloads, seconds) in zip(tasks, results):
+            for (fam, params, _), (_, payloads, seconds, spans, counters) in zip(
+                tasks, results
+            ):
+                # Child work appears nested under this prebuild span and is
+                # counted exactly once (workers extract before shipping).
+                obs.adopt_spans(spans)
+                obs.merge_counters(counters)
                 if not payloads:
                     continue
                 artifacts = hydrate_arrays(self.graph, fam, payloads, params)
@@ -528,25 +568,28 @@ class BestKIndex:
         cached = self._scores.get((fam.name, metric.name))
         if cached is not None:
             return cached
-        decomposition = self.family_decomposition(fam, **params)
-        levels = self._family_levels(fam, decomposition, params)
-        ordering = self._family_ordering(fam, levels, params)
-        totals = self._family_totals(fam, decomposition, params)
-        num_k, twice_in_k, out_k = self._family_level_totals(
-            fam, decomposition, levels, ordering, params
-        )
-        tri_k = trip_k = None
-        if fam.metric_requires_triangles(metric):
-            if not fam.supports_triangles:
-                raise MetricRequirementError(
-                    f"family {fam.name!r} does not support triangle-based metrics"
-                )
-            tri_k, trip_k = self._family_level_triangles(fam, ordering, params)
-        thresholds = fam.thresholds(decomposition, len(num_k) - 2, **params)
-        result = scores_from_level_totals(
-            metric, totals, num_k, twice_in_k, out_k, tri_k, trip_k,
-            make_values=fam.make_values, thresholds=thresholds,
-        )
+        with obs.span(
+            "index:score", family=fam.name, metric=metric.name, phase="score"
+        ):
+            decomposition = self.family_decomposition(fam, **params)
+            levels = self._family_levels(fam, decomposition, params)
+            ordering = self._family_ordering(fam, levels, params)
+            totals = self._family_totals(fam, decomposition, params)
+            num_k, twice_in_k, out_k = self._family_level_totals(
+                fam, decomposition, levels, ordering, params
+            )
+            tri_k = trip_k = None
+            if fam.metric_requires_triangles(metric):
+                if not fam.supports_triangles:
+                    raise MetricRequirementError(
+                        f"family {fam.name!r} does not support triangle-based metrics"
+                    )
+                tri_k, trip_k = self._family_level_triangles(fam, ordering, params)
+            thresholds = fam.thresholds(decomposition, len(num_k) - 2, **params)
+            result = scores_from_level_totals(
+                metric, totals, num_k, twice_in_k, out_k, tri_k, trip_k,
+                make_values=fam.make_values, thresholds=thresholds,
+            )
         self._scores[(fam.name, metric.name)] = result
         return result
 
@@ -686,13 +729,17 @@ class BestKIndex:
         cached = self._core_scores.get(metric.name)
         if cached is not None:
             return cached
-        twice_in, out, num = self._node_totals()
-        tri = trip = None
-        if metric.requires_triangles:
-            tri, trip = self._node_triangles()
-        result = scores_from_forest_totals(
-            metric, self.totals, self.forest, twice_in, out, num, tri, trip
-        )
+        with obs.span(
+            "index:score", family="core", metric=metric.name, phase="score",
+            problem=2,
+        ):
+            twice_in, out, num = self._node_totals()
+            tri = trip = None
+            if metric.requires_triangles:
+                tri, trip = self._node_triangles()
+            result = scores_from_forest_totals(
+                metric, self.totals, self.forest, twice_in, out, num, tri, trip
+            )
         self._core_scores[metric.name] = result
         return result
 
@@ -774,6 +821,12 @@ class BestKIndex:
         totals, the O(n) suffix-sum accumulations) lands in ``other``.
         Pass ``family`` to restrict the split to one family's artifacts;
         the default aggregates across all families.
+
+        The numbers aggregated here are exactly the ``build_seconds``
+        attributes the ``index:build`` spans carry (each span also carries
+        the same ``phase`` tag), so a :mod:`repro.obs` trace re-derives
+        this table bit-for-bit — and with tracing disabled the values are
+        untouched, since the timing is measured independently of the span.
         """
         phases = {
             "decompose": 0.0, "order": 0.0, "forest": 0.0,

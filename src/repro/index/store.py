@@ -24,6 +24,14 @@ missing field file, dtype/shape mismatch, truncated ``.npy`` — discards
 the bundle and reports a miss, forcing a clean rebuild.  A corrupted
 cache can cost time, never correctness.
 
+Every anomaly class is *observable*: each discard path increments a
+distinct ``store.discard`` counter label (``corrupt_manifest``,
+``identity_mismatch``, ``missing_field``, ``corrupt_array``,
+``shape_mismatch``, ``hydrate_error``) on :mod:`repro.obs` and emits a
+``logging`` warning naming the bundle key, so a poisoned cache is never
+indistinguishable from a cold miss.  Clean outcomes count too:
+``store.hit``, ``store.miss`` and ``store.persist``.
+
 The same dump/load codec (:func:`dump_artifact` / :func:`hydrate_arrays`)
 also carries artifacts from pool workers back to the parent index, which
 is what keeps the parallel path bit-identical to the serial one.
@@ -32,6 +40,7 @@ is what keeps the parallel path bit-identical to the serial one.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import shutil
 import hashlib
@@ -40,6 +49,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import obs
 from ..core.decomposition import CoreDecomposition
 from ..core.forest import CoreForest, CoreNode
 from ..core.ordering import OrderedGraph
@@ -58,6 +68,17 @@ __all__ = [
 ]
 
 FORMAT_VERSION = 1
+
+logger = logging.getLogger(__name__)
+
+
+class _BundleAnomaly(Exception):
+    """Internal: one classified reason a bundle must be discarded."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(reason if not detail else f"{reason}: {detail}")
+        self.reason = reason
+        self.detail = detail
 
 _ORDERING_FIELDS = (
     "levels", "rank", "indptr", "indices", "same", "plus", "high",
@@ -309,6 +330,7 @@ class ArtifactStore:
         }
         meta["artifacts"][name] = spec
         _atomic_write_text(bundle / "meta.json", json.dumps(meta, indent=1, sort_keys=True))
+        obs.add("store.persist", family=fam.name, artifact=name)
         return True
 
     # -- read -----------------------------------------------------------
@@ -318,35 +340,69 @@ class ArtifactStore:
         """All reconstructable artifacts of a bundle, or ``None`` on miss.
 
         Any anomaly (corrupt manifest, missing/truncated/mis-shaped array
-        file) discards the bundle and returns ``None``.
+        file) discards the bundle and returns ``None`` — but never
+        silently: the discard is classified, counted on :mod:`repro.obs`
+        (``store.discard`` with a ``reason`` label) and logged as a
+        warning carrying the bundle key.  A clean absence counts as
+        ``store.miss``; a successful load as ``store.hit``.
         """
         bundle = self.bundle_dir(graph, fam, params, backend_name)
         if not (bundle / "meta.json").exists():
+            obs.add("store.miss", family=fam.name)
             return None
         try:
-            meta = self._read_meta(bundle, strict=True)
+            try:
+                meta = self._read_meta(bundle, strict=True)
+            except Exception as exc:
+                raise _BundleAnomaly("corrupt_manifest", str(exc)) from exc
             if (
-                meta["format"] != FORMAT_VERSION
-                or meta["family"] != fam.name
-                or meta["graph"]["digest"] != graph.content_digest()
+                meta.get("format") != FORMAT_VERSION
+                or meta.get("family") != fam.name
+                or meta.get("graph", {}).get("digest") != graph.content_digest()
             ):
-                raise ValueError("bundle identity mismatch")
+                raise _BundleAnomaly("identity_mismatch")
             arrays_by_name: dict[str, dict[str, np.ndarray]] = {}
-            for name, spec in meta["artifacts"].items():
+            for name, spec in meta.get("artifacts", {}).items():
                 fields = {}
                 for field, fspec in spec.items():
-                    arr = _load_array(bundle / fspec["file"])
+                    try:
+                        arr = _load_array(bundle / fspec["file"])
+                    except FileNotFoundError as exc:
+                        raise _BundleAnomaly("missing_field", fspec["file"]) from exc
+                    except Exception as exc:
+                        raise _BundleAnomaly("corrupt_array", fspec["file"]) from exc
                     if (
                         str(arr.dtype) != fspec["dtype"]
                         or list(arr.shape) != fspec["shape"]
                     ):
-                        raise ValueError(f"array mismatch in {fspec['file']}")
+                        raise _BundleAnomaly("shape_mismatch", fspec["file"])
                     fields[field] = arr
                 arrays_by_name[name] = fields
-            return hydrate_arrays(graph, fam, arrays_by_name, params)
-        except Exception:
-            self._discard(bundle)
-            return None
+            try:
+                loaded = hydrate_arrays(graph, fam, arrays_by_name, params)
+            except Exception as exc:
+                raise _BundleAnomaly("hydrate_error", str(exc)) from exc
+        except _BundleAnomaly as anomaly:
+            return self._discard_anomalous(bundle, fam, anomaly)
+        except Exception as exc:  # malformed manifest structure and the like
+            return self._discard_anomalous(
+                bundle, fam, _BundleAnomaly("corrupt_manifest", str(exc))
+            )
+        obs.add("store.hit", family=fam.name)
+        return loaded
+
+    def _discard_anomalous(
+        self, bundle: Path, fam: HierarchyFamily, anomaly: _BundleAnomaly
+    ) -> None:
+        """Count, warn about and remove one anomalous bundle."""
+        obs.add("store.discard", family=fam.name, reason=anomaly.reason)
+        detail = f" ({anomaly.detail})" if anomaly.detail else ""
+        logger.warning(
+            "discarding artifact bundle %s: %s%s; it will be rebuilt from scratch",
+            bundle.name, anomaly.reason, detail,
+        )
+        self._discard(bundle)
+        return None
 
     # -- maintenance ----------------------------------------------------
     def bundles(self) -> list[BundleInfo]:

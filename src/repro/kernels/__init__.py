@@ -24,12 +24,22 @@ Selection, in precedence order:
 Both backends return exactly the same values (``tests/test_kernels.py``
 enforces integer-for-integer equality), so switching backends is purely a
 performance decision.  ``benchmarks/bench_kernels.py`` measures the gap.
+
+Observability: :func:`register_backend` wraps every kernel method of a
+registered backend with :mod:`repro.obs` instrumentation — each dispatch
+increments the ``kernel.dispatch`` counter (labelled by backend and
+kernel name) and runs inside a ``kernel:<name>`` span.  Third-party
+backends get the same treatment for free; the wrappers are transparent
+(``functools.wraps``, identical arguments and return values) and cost a
+no-op context manager when the recorder is disabled.
 """
 
 from __future__ import annotations
 
+import functools
 import os
 
+from .. import obs
 from ..errors import UnknownBackendError
 from .base import KernelBackend
 from .numpy_backend import NumpyBackend
@@ -53,17 +63,60 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 
 _REGISTRY: dict[str, KernelBackend] = {}
 
+#: Kernel methods wrapped with obs instrumentation on registration.
+KERNEL_METHODS = (
+    "peel_coreness",
+    "peel_exact",
+    "count_triangles",
+    "triangles_per_vertex",
+    "edge_supports",
+    "triangle_charges",
+    "triplet_group_deltas",
+    "connected_components",
+    "vertex_strengths",
+)
+
+
+def _instrumented(kernel_name: str, backend_name: str, bound):
+    """Wrap one bound kernel method with a dispatch counter and span."""
+
+    @functools.wraps(bound)
+    def wrapper(*args, **kwargs):
+        obs.add("kernel.dispatch", backend=backend_name, kernel=kernel_name)
+        with obs.span(f"kernel:{kernel_name}", backend=backend_name):
+            return bound(*args, **kwargs)
+
+    wrapper.__repro_obs_wrapped__ = bound
+    return wrapper
+
+
+def _instrument_backend(backend: KernelBackend) -> KernelBackend:
+    """Bind obs-instrumented wrappers over the backend's kernel methods.
+
+    Idempotent (re-registration with ``overwrite=True`` does not stack
+    wrappers); wrappers live on the *instance*, so class-level behaviour
+    and ``isinstance`` checks are untouched.
+    """
+    for name in KERNEL_METHODS:
+        bound = getattr(backend, name, None)
+        if bound is None or hasattr(bound, "__repro_obs_wrapped__"):
+            continue
+        setattr(backend, name, _instrumented(name, backend.name, bound))
+    return backend
+
 
 def register_backend(backend: KernelBackend, *, overwrite: bool = False) -> KernelBackend:
     """Add a backend instance to the registry under ``backend.name``.
 
     Third-party accelerator backends (numba, GPU, ...) register themselves
     here; ``overwrite=True`` replaces an existing entry of the same name.
+    Every kernel method is wrapped with :mod:`repro.obs` dispatch
+    instrumentation on the way in (see :func:`_instrument_backend`).
     """
     key = backend.name.lower()
     if not overwrite and key in _REGISTRY:
         raise ValueError(f"backend {backend.name!r} is already registered")
-    _REGISTRY[key] = backend
+    _REGISTRY[key] = _instrument_backend(backend)
     return backend
 
 

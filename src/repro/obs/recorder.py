@@ -1,0 +1,430 @@
+"""The always-on in-memory recorder: spans, counters and gauges.
+
+One process holds one :class:`Recorder` (the module-level singleton in
+:mod:`repro.obs`).  Instrumented code interacts with it through three
+primitives:
+
+spans
+    ``with span("index:build", artifact="core:decompose") as sp`` opens a
+    hierarchical wall-clock span.  Nesting follows the call stack (a
+    thread-local stack supplies the parent), attributes can be attached
+    at open time or later via :meth:`SpanRecord.set_attr`, and the
+    completed record lands in the recorder and in every attached sink.
+counters
+    ``add("store.hit", family="core")`` — monotonic, label-aware
+    increments.  Labels are plain keyword strings; a counter identity is
+    ``(name, sorted labels)``.
+gauges
+    ``set_gauge("parallel.pool_workers", 4)`` — last-write-wins values.
+
+Everything is wall-clock only (``time.perf_counter``) and pure stdlib.
+The recorder never changes the behaviour of instrumented code: disabling
+it (``REPRO_OBS=0`` or :meth:`Recorder.disable`) turns ``span`` into a
+shared no-op context manager and ``add``/``set_gauge`` into early
+returns, which is the "instrumentation compiled out" baseline
+``benchmarks/bench_obs.py`` measures against.
+
+Cross-process shipping: a pool worker wraps its work in
+:meth:`Recorder.capture`, which *extracts* the spans and counter deltas
+recorded inside the window (so a serial in-process fallback does not
+double-record them) into picklable plain data; the parent grafts them
+under its current span with :meth:`Recorder.adopt_spans` /
+:meth:`Recorder.merge_counters`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+
+__all__ = [
+    "Capture",
+    "Recorder",
+    "SpanRecord",
+    "labels_key",
+    "render_counter_key",
+    "parse_counter_key",
+]
+
+#: ``REPRO_OBS`` values that disable the recorder entirely.
+_OFF_VALUES = ("0", "off", "false", "no")
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "").strip().lower() not in _OFF_VALUES
+
+
+def labels_key(labels: dict) -> tuple:
+    """Canonical hashable identity of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def render_counter_key(name: str, labels: tuple) -> str:
+    """``name{k=v,...}`` — the human/JSON form of a counter identity."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def parse_counter_key(key: str) -> tuple[str, tuple]:
+    """Inverse of :func:`render_counter_key`."""
+    if "{" not in key:
+        return key, ()
+    name, _, rest = key.partition("{")
+    pairs = []
+    for item in rest.rstrip("}").split(","):
+        if item:
+            k, _, v = item.partition("=")
+            pairs.append((k, v))
+    return name, tuple(sorted(pairs))
+
+
+class SpanRecord:
+    """One completed (or in-flight) span."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs")
+
+    def __init__(self, span_id: int, parent_id: int | None, name: str, attrs: dict):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = 0.0
+        self.end = 0.0
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds between enter and exit (0.0 while in flight)."""
+        return max(self.end - self.start, 0.0)
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach one attribute to the span (JSON-representable values)."""
+        self.attrs[key] = value
+
+    def update(self, **attrs) -> None:
+        """Attach several attributes at once."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict:
+        """Plain-data form used by sinks, shipping and :func:`load_trace`."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord(id={self.span_id}, name={self.name!r}, "
+            f"duration={self.duration:.6f}s, attrs={self.attrs!r})"
+        )
+
+
+class _NullSpan:
+    """The span handed out while the recorder is disabled; absorbs writes."""
+
+    __slots__ = ()
+
+    def set_attr(self, key, value) -> None:
+        pass
+
+    def update(self, **attrs) -> None:
+        pass
+
+
+class _NullContext:
+    """Reusable no-op ``with`` target — the disabled-path fast lane."""
+
+    __slots__ = ()
+    _SPAN = _NullSpan()
+
+    def __enter__(self) -> _NullSpan:
+        return self._SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one :class:`SpanRecord`."""
+
+    __slots__ = ("_recorder", "record")
+
+    def __init__(self, recorder: "Recorder", record: SpanRecord):
+        self._recorder = recorder
+        self.record = record
+
+    def __enter__(self) -> SpanRecord:
+        stack = self._recorder._stack()
+        if stack:
+            self.record.parent_id = stack[-1].span_id
+        stack.append(self.record)
+        self.record.start = time.perf_counter()
+        return self.record
+
+    def __exit__(self, *exc) -> bool:
+        self.record.end = time.perf_counter()
+        stack = self._recorder._stack()
+        if stack and stack[-1] is self.record:
+            stack.pop()
+        else:  # pragma: no cover - unbalanced exit; drop gracefully
+            try:
+                stack.remove(self.record)
+            except ValueError:
+                pass
+        self._recorder._finish(self.record)
+        return False
+
+
+class Capture:
+    """Extract the spans and counter deltas recorded inside a window.
+
+    Used by pool workers (and their serial in-process fallback): on exit
+    the spans recorded since ``__enter__`` are *removed* from the recorder
+    and exported as plain dicts (``self.spans``), and the counter/gauge
+    movement is reverted and exported as deltas (``self.counters`` /
+    ``self.gauges``) — so whichever process re-absorbs the capture is the
+    only place the work is counted.  Sinks are detached for the duration;
+    the adopting side re-emits the spans.  Single-threaded windows only.
+    """
+
+    def __init__(self, recorder: "Recorder"):
+        self._recorder = recorder
+        self.spans: list[dict] = []
+        self.counters: dict = {}
+        self.gauges: dict = {}
+
+    def __enter__(self) -> "Capture":
+        rec = self._recorder
+        with rec._lock:
+            self._mark = len(rec._spans)
+            self._counters_before = dict(rec._counters)
+            self._sinks, rec._sinks = rec._sinks, []
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        rec = self._recorder
+        with rec._lock:
+            captured = rec._spans[self._mark:]
+            del rec._spans[self._mark:]
+            before = self._counters_before
+            delta = {}
+            for key, value in rec._counters.items():
+                moved = value - before.get(key, 0)
+                if moved:
+                    delta[key] = moved
+            rec._counters = before
+            rec._sinks = self._sinks
+        captured_ids = {record.span_id for record in captured}
+        self.spans = []
+        for record in captured:
+            data = record.to_dict()
+            if data["parent"] not in captured_ids:
+                data["parent"] = None
+            self.spans.append(data)
+        self.counters = delta
+        return False
+
+
+class Recorder:
+    """Process-wide span/counter/gauge store with pluggable sinks."""
+
+    def __init__(self, *, max_spans: int = 200_000):
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._ids = itertools.count(1)
+        self._spans: list[SpanRecord] = []
+        self._counters: dict[tuple[str, tuple], float] = {}
+        self._gauges: dict[tuple[str, tuple], float] = {}
+        self._sinks: list = []
+        #: In-memory retention cap; completions beyond it are dropped (and
+        #: counted in :attr:`dropped`) but still reach the sinks.
+        self.max_spans = max_spans
+        self.dropped = 0
+        self.enabled = _env_enabled()
+
+    # -- state ----------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def reset(self) -> None:
+        """Drop every span, counter, gauge and open-stack entry."""
+        with self._lock:
+            self._spans.clear()
+            self._counters.clear()
+            self._gauges.clear()
+            self.dropped = 0
+        self._tls = threading.local()
+
+    # -- spans ----------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Open a span; use as ``with recorder.span("name", k=v) as sp:``."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _SpanContext(self, SpanRecord(next(self._ids), None, name, attrs))
+
+    def current_span(self) -> SpanRecord | None:
+        """The innermost open span of this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _finish(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._spans) < self.max_spans:
+                self._spans.append(record)
+            else:
+                self.dropped += 1
+            sinks = list(self._sinks)
+        for sink in sinks:
+            try:
+                sink.on_span(record)
+            except Exception:  # pragma: no cover - sinks must never break work
+                pass
+
+    def spans(self) -> tuple[SpanRecord, ...]:
+        """Completed spans in completion order (children before parents)."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def find_spans(self, name: str) -> tuple[SpanRecord, ...]:
+        """Completed spans with the given name."""
+        return tuple(s for s in self.spans() if s.name == name)
+
+    def export_spans(self) -> list[dict]:
+        """Every completed span as plain (picklable, JSON-able) dicts."""
+        return [record.to_dict() for record in self.spans()]
+
+    def adopt_spans(self, exported: list[dict]) -> int:
+        """Graft externally recorded spans under this thread's current span.
+
+        Ids are remapped into this recorder's sequence; roots of the
+        incoming forest are re-parented onto the current span (or stay
+        roots when no span is open).  Adopted spans flow to the sinks, so
+        a ``--trace`` file shows child-process work nested in place.
+        Returns the number of spans adopted.
+        """
+        if not self.enabled or not exported:
+            return 0
+        current = self.current_span()
+        parent_for_roots = current.span_id if current is not None else None
+        id_map = {data["id"]: next(self._ids) for data in exported}
+        for data in exported:
+            record = SpanRecord(
+                id_map[data["id"]],
+                id_map.get(data["parent"], parent_for_roots),
+                data["name"],
+                dict(data.get("attrs") or {}),
+            )
+            record.start = float(data.get("start", 0.0))
+            record.end = float(data.get("end", record.start))
+            self._finish(record)
+        return len(exported)
+
+    def capture(self) -> Capture:
+        """Open a :class:`Capture` window (worker-side shipping)."""
+        return Capture(self)
+
+    # -- counters / gauges ----------------------------------------------
+    def add(self, name: str, value: float = 1, **labels) -> None:
+        """Increment a monotonic counter (no-op while disabled)."""
+        if not self.enabled:
+            return
+        key = (name, labels_key(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Set a last-write-wins gauge (no-op while disabled)."""
+        if not self.enabled:
+            return
+        key = (name, labels_key(labels))
+        with self._lock:
+            self._gauges[key] = value
+
+    def counter(self, name: str, **labels) -> float:
+        """Current value of one counter (0 when never incremented)."""
+        return self._counters.get((name, labels_key(labels)), 0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter across every label combination."""
+        with self._lock:
+            return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def merge_counters(self, delta: dict) -> None:
+        """Absorb counter deltas exported by a :class:`Capture`."""
+        if not self.enabled or not delta:
+            return
+        with self._lock:
+            for key, value in delta.items():
+                key = (key[0], tuple(tuple(p) for p in key[1]))
+                self._counters[key] = self._counters.get(key, 0) + value
+
+    def counters(self) -> dict[str, float]:
+        """Snapshot keyed by the rendered ``name{label=value}`` form."""
+        with self._lock:
+            items = list(self._counters.items())
+        return {render_counter_key(n, l): v for (n, l), v in sorted(items)}
+
+    def gauges(self) -> dict[str, float]:
+        """Gauge snapshot keyed by the rendered form."""
+        with self._lock:
+            items = list(self._gauges.items())
+        return {render_counter_key(n, l): v for (n, l), v in sorted(items)}
+
+    # -- sinks -----------------------------------------------------------
+    def add_sink(self, sink) -> None:
+        """Attach a sink (``on_span`` / ``flush`` / ``close`` protocol)."""
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def sinks(self) -> tuple:
+        with self._lock:
+            return tuple(self._sinks)
+
+    def flush_sinks(self) -> None:
+        """Give every sink a chance to write the counter snapshot."""
+        for sink in self.sinks():
+            try:
+                sink.flush(self)
+            except Exception:  # pragma: no cover - sinks must never break work
+                pass
+
+    def close_sinks(self) -> None:
+        for sink in self.sinks():
+            try:
+                sink.close(self)
+            except Exception:  # pragma: no cover
+                pass
+            self.remove_sink(sink)
+
+    def __repr__(self) -> str:
+        return (
+            f"Recorder(enabled={self.enabled}, spans={len(self._spans)}, "
+            f"counters={len(self._counters)}, sinks={len(self._sinks)})"
+        )

@@ -1,0 +1,118 @@
+"""Human-readable views of a trace: span tree, counter table, summary.
+
+``bestk stats`` renders a JSONL trace through these helpers; the bench
+harness stamps :func:`summary` into every ``BENCH_*.json`` so a benchmark
+number always travels with the instrumentation that watched it run.
+Everything here consumes the *plain-data* span form
+(:meth:`~repro.obs.recorder.SpanRecord.to_dict` / :func:`~repro.obs.sinks.
+load_trace`), so it works identically on live recorders and loaded files.
+"""
+
+from __future__ import annotations
+
+from .recorder import Recorder
+
+__all__ = ["render_span_tree", "render_counter_table", "summary"]
+
+#: Span attributes shown inline in the tree (in this order, when present).
+_TREE_ATTRS = (
+    "family", "metric", "artifact", "phase", "backend", "mode", "degraded",
+    "hit", "n", "m", "jobs", "workers", "tasks", "pid",
+)
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _attr_text(attrs: dict) -> str:
+    shown = [(k, attrs[k]) for k in _TREE_ATTRS if k in attrs]
+    shown += sorted(
+        (k, v) for k, v in attrs.items()
+        if k not in _TREE_ATTRS and k != "build_seconds"
+    )
+    return " ".join(f"{k}={v}" for k, v in shown)
+
+
+def render_span_tree(spans: list[dict], *, max_depth: int | None = None) -> str:
+    """ASCII tree of a span forest, children ordered by start time.
+
+    ``spans`` is the plain-data form (from a recorder's ``export_spans``
+    or a loaded trace).  Orphans whose parent never completed are treated
+    as roots rather than dropped.
+    """
+    if not spans:
+        return "(no spans recorded)"
+    by_id = {data["id"]: data for data in spans}
+    children: dict[object, list[dict]] = {}
+    roots: list[dict] = []
+    for data in spans:
+        parent = data.get("parent")
+        if parent is None or parent not in by_id:
+            roots.append(data)
+        else:
+            children.setdefault(parent, []).append(data)
+    roots.sort(key=lambda d: d.get("start", 0.0))
+    for kids in children.values():
+        kids.sort(key=lambda d: d.get("start", 0.0))
+
+    lines: list[str] = []
+
+    def walk(data: dict, prefix: str, is_last: bool, depth: int) -> None:
+        connector = "" if not prefix and depth == 0 else ("`- " if is_last else "|- ")
+        duration = _fmt_seconds(float(data.get("duration", 0.0)))
+        attrs = _attr_text(data.get("attrs") or {})
+        text = f"{prefix}{connector}{data['name']}  {duration}"
+        if attrs:
+            text += f"  [{attrs}]"
+        lines.append(text)
+        if max_depth is not None and depth + 1 >= max_depth:
+            return
+        kids = children.get(data["id"], [])
+        child_prefix = prefix + ("" if depth == 0 and not prefix else
+                                 ("   " if is_last else "|  "))
+        for i, kid in enumerate(kids):
+            walk(kid, child_prefix, i == len(kids) - 1, depth + 1)
+
+    for i, root in enumerate(roots):
+        walk(root, "", i == len(roots) - 1, 0)
+    return "\n".join(lines)
+
+
+def render_counter_table(
+    counters: dict[str, float], gauges: dict[str, float] | None = None
+) -> str:
+    """Aligned two-column table of counters (and gauges, marked ``(g)``)."""
+    rows = [(key, str(value), "") for key, value in sorted(counters.items())]
+    for key, value in sorted((gauges or {}).items()):
+        rows.append((key, f"{value:g}" if isinstance(value, float) else str(value), " (g)"))
+    if not rows:
+        return "(no counters recorded)"
+    width = max(len(key) for key, _, _ in rows)
+    return "\n".join(f"{key:<{width}}  {value}{mark}" for key, value, mark in rows)
+
+
+def summary(recorder: Recorder) -> dict:
+    """Compact obs digest for ``BENCH_*.json`` stamping.
+
+    Root-span seconds (spans with no recorded parent) approximate total
+    instrumented wall time without double-counting nesting.
+    """
+    spans = recorder.spans()
+    span_ids = {record.span_id for record in spans}
+    root_seconds = sum(
+        record.duration for record in spans
+        if record.parent_id is None or record.parent_id not in span_ids
+    )
+    return {
+        "enabled": recorder.enabled,
+        "spans": len(spans),
+        "spans_dropped": recorder.dropped,
+        "root_span_seconds": round(root_seconds, 6),
+        "counters": recorder.counters(),
+        "gauges": recorder.gauges(),
+    }

@@ -1,0 +1,195 @@
+"""Pluggable trace sinks and exposition formats.
+
+A *sink* receives every completed span as it closes and may persist a
+counter snapshot when flushed.  The protocol is three duck-typed methods::
+
+    sink.on_span(record)   # one completed SpanRecord
+    sink.flush(recorder)   # persist a counters/gauges snapshot
+    sink.close(recorder)   # final flush + release resources (idempotent)
+
+Two concrete outputs ship with the package:
+
+* :class:`JsonlSink` — streams each span as one JSON line and appends a
+  ``{"type": "counters", ...}`` snapshot on flush.  Activated by
+  ``REPRO_TRACE=<path>`` (checked once at :mod:`repro.obs` import) or the
+  CLI ``--trace`` flag.  Files are opened in append mode so concurrent
+  processes (pytest + pool workers) interleave whole lines instead of
+  clobbering each other.
+* :func:`prometheus_text` — a Prometheus-style text exposition of the
+  counters and gauges (``repro_store_hit_total{family="core"} 3``), for
+  scraping or ``bestk stats --prometheus``.
+
+:func:`load_trace` parses a JSONL file back into plain data — the
+round-trip the CLI ``bestk stats`` subcommand and ``tests/test_obs.py``
+are built on.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+
+from .recorder import Recorder, SpanRecord, parse_counter_key
+
+__all__ = [
+    "JsonlSink",
+    "configure_trace",
+    "load_trace",
+    "prometheus_text",
+]
+
+
+def _json_default(value):
+    """Coerce numpy scalars (and anything else odd) into JSON-able data."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except Exception:  # pragma: no cover - malformed array-likes
+            pass
+    return str(value)
+
+
+class JsonlSink:
+    """Stream spans (and counter snapshots on flush) to a JSONL file."""
+
+    def __init__(self, path: str | os.PathLike, *, append: bool = True):
+        self.path = os.fspath(path)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._fh = open(self.path, "a" if append else "w", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def _write(self, payload: dict) -> None:
+        line = json.dumps(payload, default=_json_default)
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def on_span(self, record: SpanRecord) -> None:
+        self._write(record.to_dict())
+
+    def flush(self, recorder: Recorder) -> None:
+        """Append a cumulative counters/gauges snapshot for this process."""
+        self._write({
+            "type": "counters",
+            "pid": os.getpid(),
+            "counters": recorder.counters(),
+            "gauges": recorder.gauges(),
+        })
+
+    def close(self, recorder: Recorder | None = None) -> None:
+        if self._fh.closed:
+            return
+        if recorder is not None:
+            self.flush(recorder)
+        with self._lock:
+            self._fh.close()
+
+    def __repr__(self) -> str:
+        return f"JsonlSink(path={self.path!r})"
+
+
+def configure_trace(recorder: Recorder, path: str | None = None) -> JsonlSink | None:
+    """Attach a :class:`JsonlSink` for ``path`` (or ``$REPRO_TRACE``).
+
+    Returns the sink, or ``None`` when no path is configured.  The sink is
+    flushed and closed at interpreter exit as a backstop; callers that
+    want the counter snapshot earlier (the CLI does) call
+    ``recorder.flush_sinks()`` themselves.
+    """
+    if path is None:
+        path = os.environ.get("REPRO_TRACE", "").strip() or None
+    if not path:
+        return None
+    for sink in recorder.sinks():
+        if isinstance(sink, JsonlSink) and sink.path == os.fspath(path):
+            return sink
+    sink = JsonlSink(path)
+    recorder.add_sink(sink)
+    atexit.register(sink.close, recorder)
+    return sink
+
+
+def load_trace(path: str | os.PathLike) -> dict:
+    """Parse a JSONL trace back into ``{"spans": [...], "counters": {...},
+    "gauges": {...}}``.
+
+    Span lines are kept in file order.  Counter snapshots are cumulative
+    per process, so the last snapshot of each pid wins and distinct pids
+    are summed — a trace shared by a parent and its workers adds up
+    instead of double-counting.  Unparseable lines are skipped (a crashed
+    writer may leave a torn final line).
+    """
+    spans: list[dict] = []
+    per_pid_counters: dict[int, dict] = {}
+    per_pid_gauges: dict[int, dict] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError:
+                continue
+            kind = data.get("type")
+            if kind == "span":
+                spans.append(data)
+            elif kind == "counters":
+                pid = int(data.get("pid", 0))
+                per_pid_counters[pid] = dict(data.get("counters") or {})
+                per_pid_gauges[pid] = dict(data.get("gauges") or {})
+    counters: dict[str, float] = {}
+    for snapshot in per_pid_counters.values():
+        for key, value in snapshot.items():
+            counters[key] = counters.get(key, 0) + value
+    gauges: dict[str, float] = {}
+    for snapshot in per_pid_gauges.values():
+        gauges.update(snapshot)
+    return {"spans": spans, "counters": counters, "gauges": gauges}
+
+
+def _metric_name(name: str, suffix: str) -> str:
+    cleaned = "".join(c if c.isalnum() else "_" for c in name)
+    return f"repro_{cleaned}{suffix}"
+
+
+def _exposition_lines(kind: str, suffix: str, snapshot: dict[str, float]) -> list[str]:
+    by_name: dict[str, list[tuple[tuple, float]]] = {}
+    for key, value in snapshot.items():
+        name, labels = parse_counter_key(key)
+        by_name.setdefault(name, []).append((labels, value))
+    lines = []
+    for name in sorted(by_name):
+        metric = _metric_name(name, suffix)
+        lines.append(f"# TYPE {metric} {kind}")
+        for labels, value in sorted(by_name[name]):
+            label_text = ",".join(f'{k}="{v}"' for k, v in labels)
+            rendered = f"{metric}{{{label_text}}}" if label_text else metric
+            value_text = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"{rendered} {value_text}")
+    return lines
+
+
+def prometheus_text(
+    counters: dict[str, float] | None = None,
+    gauges: dict[str, float] | None = None,
+    *,
+    recorder: Recorder | None = None,
+) -> str:
+    """Prometheus-style text exposition of counters and gauges.
+
+    Pass a :class:`Recorder` to snapshot it, or pre-rendered ``counters``
+    / ``gauges`` dicts (e.g. from :func:`load_trace`).
+    """
+    if recorder is not None:
+        counters = recorder.counters()
+        gauges = recorder.gauges()
+    lines = _exposition_lines("counter", "_total", counters or {})
+    lines += _exposition_lines("gauge", "", gauges or {})
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -11,6 +11,16 @@ lets every caller treat ``jobs`` as a pure performance knob.
 Worker-count resolution (:func:`resolve_jobs`): an explicit ``jobs``
 argument wins, then the ``REPRO_JOBS`` environment variable, then serial;
 ``0`` or a negative value means "all cores".
+
+Silent degradation is a thing of the past: every dispatch runs inside a
+``parallel:map`` :mod:`repro.obs` span whose ``mode`` attribute says
+whether a pool actually ran, and serial fallbacks carry a ``degraded``
+reason (``one_task``, ``one_worker``, ``pool_start_failure``,
+``pool_failure``) that is also counted on the ``parallel.map`` counter —
+benchmarks can assert they genuinely ran parallel instead of trusting
+the knob.  (The shared-memory-vs-pickle handoff decision is recorded
+separately by :mod:`repro.parallel.shm` as ``shm.export`` /
+``shm.attach`` counters, including the ``REPRO_NO_SHM`` force-off.)
 """
 
 from __future__ import annotations
@@ -19,6 +29,8 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from .. import obs
 
 __all__ = ["resolve_jobs", "parallel_map"]
 
@@ -62,17 +74,33 @@ def parallel_map(
     keeps the graph itself out of the payload).
     """
     task_list: Sequence[_T] = list(tasks)
-    workers = min(resolve_jobs(jobs), len(task_list))
-    if workers <= 1:
-        return [fn(task) for task in task_list]
-    try:
-        executor = ProcessPoolExecutor(max_workers=workers, mp_context=_fork_context())
-    except (OSError, PermissionError, ValueError):
-        return [fn(task) for task in task_list]
-    try:
-        with executor:
-            return list(executor.map(fn, task_list))
-    except (OSError, PermissionError):
-        # Pool died before doing useful work (sandboxed semaphores, fork
-        # limits); the serial path computes the identical answer.
-        return [fn(task) for task in task_list]
+    requested = resolve_jobs(jobs)
+    workers = min(requested, len(task_list))
+    with obs.span(
+        "parallel:map", tasks=len(task_list), requested=requested
+    ) as sp:
+
+        def serial(reason: str) -> list[_R]:
+            sp.update(mode="serial", degraded=reason)
+            obs.add("parallel.map", mode="serial", degraded=reason)
+            return [fn(task) for task in task_list]
+
+        if workers <= 1:
+            return serial("one_worker" if requested <= 1 else "one_task")
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=workers, mp_context=_fork_context()
+            )
+        except (OSError, PermissionError, ValueError):
+            return serial("pool_start_failure")
+        try:
+            with executor:
+                results = list(executor.map(fn, task_list))
+        except (OSError, PermissionError):
+            # Pool died before doing useful work (sandboxed semaphores, fork
+            # limits); the serial path computes the identical answer.
+            return serial("pool_failure")
+        sp.update(mode="pool", workers=workers)
+        obs.add("parallel.map", mode="pool")
+        obs.set_gauge("parallel.pool_workers", workers)
+        return results

@@ -34,6 +34,7 @@ import threading
 
 import numpy as np
 
+from .. import obs
 from ..graph.csr import Graph
 
 try:
@@ -134,6 +135,7 @@ class GraphHandle:
         segment — the creator owns it); call it only after dropping every
         reference into the graph's arrays.  In pickle mode it is a no-op.
         """
+        obs.add("shm.attach", mode=self.mode)
         if self.mode == "pickle":
             indptr, indices = self.arrays
             return Graph.from_arrays(indptr, indices, validate=False), lambda: None
@@ -178,6 +180,12 @@ class SharedGraph:
 
     def _export(self, graph: Graph) -> GraphHandle:
         if not shm_available():
+            # Distinguish the operator forcing shm off from a platform
+            # without it: benchmarks read this counter to know why the
+            # zero-copy path was skipped.
+            reason = "forced_off" if os.environ.get("REPRO_NO_SHM", "").strip() \
+                else "unavailable"
+            obs.add("shm.export", mode="pickle", reason=reason)
             return GraphHandle("pickle", arrays=(graph.indptr, graph.indices))
         try:
             segments = []
@@ -189,9 +197,11 @@ class SharedGraph:
                 del view
                 self._shms.append(shm)
                 segments.append((shm.name, len(arr)))
+            obs.add("shm.export", mode="shm")
             return GraphHandle("shm", segments=tuple(segments))
         except (OSError, ValueError):
             self.close()
+            obs.add("shm.export", mode="pickle", reason="export_failed")
             return GraphHandle("pickle", arrays=(graph.indptr, graph.indices))
 
     def close(self) -> int:

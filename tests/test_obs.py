@@ -1,0 +1,387 @@
+"""The ``repro.obs`` tracing layer: invariants before features.
+
+The contract under test, in order of importance:
+
+* **Invariance** — tracing on, off, or disabled entirely never changes a
+  single bit of any result, for every registered family.
+* **Structure** — spans nest by runtime call structure, including spans
+  recorded in pool workers and shipped back inside the result tuples.
+* **Accuracy** — counters equal ground truth (a backend that counts its
+  own calls), store anomalies land on distinctly-labelled counters with a
+  warning, and serial degradation of the pool is visible with a reason.
+* **Round-trip** — a JSONL trace file replays to the same spans/counters.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import numpy as np
+import pytest
+from conftest import random_graph
+
+from repro import obs
+from repro.engine import best_level_set, get_family
+from repro.index import ArtifactStore, BestKIndex
+from repro.kernels import NumpyBackend, _REGISTRY, register_backend
+from repro.obs import JsonlSink, Recorder, load_trace, prometheus_text
+from repro.parallel import parallel_map
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    """Each test starts from an empty, enabled process recorder."""
+    obs.reset()
+    obs.enable()
+    yield
+    obs.reset()
+    obs.enable()
+
+
+@pytest.fixture()
+def graph():
+    return random_graph(60, 220, seed=11)
+
+
+# ----------------------------------------------------------------------
+# Recorder basics
+# ----------------------------------------------------------------------
+
+class TestRecorder:
+    def test_span_nesting_and_attrs(self):
+        with obs.span("outer", n=3) as outer:
+            with obs.span("inner") as inner:
+                inner.set_attr("hit", True)
+        # Spans land in completion order: inner closes before outer.
+        spans = {s.name: s for s in obs.spans()}
+        assert [s.name for s in obs.spans()] == ["inner", "outer"]
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["outer"].attrs["n"] == 3 and spans["inner"].attrs["hit"] is True
+        assert spans["outer"].duration >= spans["inner"].duration >= 0.0
+
+    def test_counters_are_label_aware(self):
+        obs.add("c", family="core")
+        obs.add("c", 2, family="truss")
+        obs.add("c", family="core")
+        assert obs.counter("c", family="core") == 2
+        assert obs.counter("c", family="truss") == 2
+        assert obs.counter_total("c") == 4
+
+    def test_disable_records_nothing(self):
+        obs.disable()
+        with obs.span("ghost") as sp:
+            sp.set_attr("x", 1)  # the null span absorbs attrs silently
+            obs.add("ghost.counter")
+        assert not obs.spans() and not obs.counters()
+        obs.enable()
+        with obs.span("real"):
+            pass
+        assert [s.name for s in obs.spans()] == ["real"]
+
+    def test_capture_extracts_and_reverts(self):
+        obs.add("kept")
+        with obs.span("kept-span"):
+            pass
+        with obs.capture() as cap:
+            with obs.span("shipped"):
+                obs.add("shipped.counter", worker="w")
+        # The capture window left nothing behind in the recorder...
+        assert [s.name for s in obs.spans()] == ["kept-span"]
+        assert obs.counters() == {"kept": 1}
+        # ...because it was extracted into portable plain data.
+        assert [s["name"] for s in cap.spans] == ["shipped"]
+        # Counter deltas keep the internal (name, labels) tuple keys —
+        # picklable, and exactly what merge_counters consumes.
+        assert cap.counters == {("shipped.counter", (("worker", "w"),)): 1}
+        # Adoption is the single re-entry point, nesting under the caller.
+        with obs.span("parent"):
+            obs.adopt_spans(cap.spans)
+            obs.merge_counters(cap.counters)
+        by_name = {s.name: s for s in obs.spans()}
+        assert by_name["shipped"].parent_id == by_name["parent"].span_id
+        assert obs.counter("shipped.counter", worker="w") == 1
+
+
+# ----------------------------------------------------------------------
+# Invariance: tracing never changes results
+# ----------------------------------------------------------------------
+
+def _family_params(name, graph):
+    if name == "weighted":
+        rng = np.random.default_rng(5)
+        return {
+            "edge_weights": rng.lognormal(size=graph.num_edges),
+            "num_levels": 16,
+        }
+    return {}
+
+
+class TestInvariance:
+    @pytest.mark.parametrize("family", ["core", "truss", "weighted", "ecc"])
+    def test_results_bit_identical_tracing_on_vs_off(self, graph, family):
+        params = _family_params(family, graph)
+        traced = best_level_set(graph, family, **params)
+        assert obs.spans(), "tracing was supposed to be on"
+        obs.disable()
+        plain = best_level_set(graph, family, **params)
+        obs.enable()
+        assert traced.k == plain.k
+        assert np.array_equal(
+            traced.scores.scores, plain.scores.scores, equal_nan=True
+        )
+        assert np.array_equal(traced.vertices, plain.vertices)
+
+    def test_problem2_bit_identical(self, graph):
+        from repro.core import best_single_kcore
+
+        traced = best_single_kcore(graph, "average_degree")
+        obs.disable()
+        plain = best_single_kcore(graph, "average_degree")
+        obs.enable()
+        assert (traced.k, traced.score) == (plain.k, plain.score)
+        assert np.array_equal(traced.vertices, plain.vertices)
+
+    def test_phase_seconds_unaffected_by_disable(self, graph):
+        obs.disable()
+        index = BestKIndex(graph, jobs=1, store=False)
+        index.best_set("average_degree")
+        obs.enable()
+        phases = index.phase_seconds("core")
+        assert phases["decompose"] > 0.0  # timing path runs without obs
+
+
+# ----------------------------------------------------------------------
+# Structure: nesting across process boundaries
+# ----------------------------------------------------------------------
+
+class TestPoolSpans:
+    def test_prebuild_adopts_worker_spans(self, graph):
+        index = BestKIndex(graph, jobs=2, store=False)
+        index.prebuild(("core", "truss"), problem2=True)
+        by_name = {}
+        for s in obs.spans():
+            by_name.setdefault(s.name, []).append(s)
+        (prebuild,) = by_name["index:prebuild"]
+        workers = by_name["worker:build"]
+        assert len(workers) >= 2  # one per planned task, shipped back
+        assert {w.parent_id for w in workers} == {prebuild.span_id}
+        # Worker-local children (index:build under worker:build) survive
+        # the pickle round-trip with their nesting intact.
+        worker_ids = {w.span_id for w in workers}
+        nested = [s for s in by_name["index:build"] if s.parent_id in worker_ids]
+        assert nested, "worker-local build spans should nest under worker:build"
+        # pool.task counters shipped from the children too.
+        assert obs.counter_total("pool.task") == len(workers)
+        pmap = by_name["parallel:map"][0]
+        if pmap.attrs.get("mode") == "pool":
+            assert len({w.attrs["pid"] for w in workers}) == 2
+
+    def test_pool_prebuild_results_match_serial(self, graph):
+        par = BestKIndex(graph, jobs=2, store=False)
+        par.prebuild(("core",))
+        obs.disable()
+        ser = BestKIndex(graph, jobs=1, store=False)
+        obs.enable()
+        for metric in ("average_degree", "clustering_coefficient"):
+            a, b = par.best_set(metric), ser.best_set(metric)
+            assert (a.k, a.score) == (b.k, b.score)
+
+
+# ----------------------------------------------------------------------
+# Accuracy: counters vs ground truth
+# ----------------------------------------------------------------------
+
+class _CountingBackend(NumpyBackend):
+    name = "obs-counting"
+
+    def __init__(self):
+        super().__init__()
+        self.calls: dict[str, int] = {}
+
+    def _bump(self, kernel):
+        self.calls[kernel] = self.calls.get(kernel, 0) + 1
+
+    def peel_coreness(self, graph):
+        self._bump("peel_coreness")
+        return super().peel_coreness(graph)
+
+    def triangle_charges(self, *a, **kw):
+        self._bump("triangle_charges")
+        return super().triangle_charges(*a, **kw)
+
+
+class TestKernelCounters:
+    def test_dispatch_counter_matches_backend_truth(self, graph):
+        backend = _CountingBackend()
+        register_backend(backend, overwrite=True)
+        try:
+            index = BestKIndex(graph, backend="obs-counting", jobs=1, store=False)
+            index.best_set("average_degree")
+            index.best_set("clustering_coefficient")
+            for kernel, truth in backend.calls.items():
+                assert (
+                    obs.counter("kernel.dispatch", backend="obs-counting", kernel=kernel)
+                    == truth
+                )
+            assert backend.calls["peel_coreness"] == 1
+        finally:
+            _REGISTRY.pop("obs-counting", None)
+
+    def test_instrumentation_is_idempotent(self):
+        backend = _CountingBackend()
+        register_backend(backend, overwrite=True)
+        try:
+            first = backend.peel_coreness
+            register_backend(backend, overwrite=True)
+            assert backend.peel_coreness is first  # no wrapper stacking
+        finally:
+            _REGISTRY.pop("obs-counting", None)
+
+
+# ----------------------------------------------------------------------
+# Accuracy: store anomalies and pool degradation
+# ----------------------------------------------------------------------
+
+class TestStoreAnomalies:
+    def _seed(self, graph, store):
+        index = BestKIndex(graph, jobs=1, store=store)
+        index.best_set("average_degree")
+        return store.bundles()[0].path
+
+    def _reload(self, graph, store):
+        BestKIndex(graph, jobs=1, store=store).best_set("average_degree")
+
+    @pytest.mark.parametrize(
+        "mutate, reason",
+        [
+            (lambda b: (b / "meta.json").write_text("{not json"), "corrupt_manifest"),
+            (
+                lambda b: sorted(b.glob("*.npy"))[0].write_bytes(
+                    sorted(b.glob("*.npy"))[0].read_bytes()[:40]
+                ),
+                "corrupt_array",
+            ),
+            (lambda b: sorted(b.glob("*.npy"))[0].unlink(), "missing_field"),
+            (
+                lambda b: np.save(sorted(b.glob("*.npy"))[0], np.arange(3)),
+                "shape_mismatch",
+            ),
+        ],
+    )
+    def test_each_discard_path_is_classified(
+        self, graph, tmp_path, caplog, mutate, reason
+    ):
+        store = ArtifactStore(tmp_path / "cache")
+        bundle = self._seed(graph, store)
+        mutate(bundle)
+        with caplog.at_level(logging.WARNING, logger="repro.index.store"):
+            self._reload(graph, store)
+        assert obs.counter("store.discard", family="core", reason=reason) == 1
+        assert any(
+            "discarding artifact bundle" in r.getMessage()
+            and bundle.name in r.getMessage()
+            for r in caplog.records
+        )
+
+    def test_hit_and_miss_counters(self, graph, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        self._seed(graph, store)
+        assert obs.counter_total("store.miss") >= 1  # the cold first probe
+        hits_before = obs.counter("store.hit", family="core")
+        self._reload(graph, store)
+        assert obs.counter("store.hit", family="core") == hits_before + 1
+        assert obs.counter_total("store.discard") == 0
+        assert obs.counter_total("store.persist") >= 1
+
+
+class TestDegradationReasons:
+    def test_one_worker(self):
+        assert parallel_map(abs, [-1, -2], jobs=1) == [1, 2]
+        assert obs.counter("parallel.map", mode="serial", degraded="one_worker") == 1
+
+    def test_one_task(self):
+        assert parallel_map(abs, [-3], jobs=4) == [3]
+        assert obs.counter("parallel.map", mode="serial", degraded="one_task") == 1
+        (sp,) = obs.find_spans("parallel:map")
+        assert sp.attrs["degraded"] == "one_task"
+
+
+# ----------------------------------------------------------------------
+# Round-trip: JSONL trace files
+# ----------------------------------------------------------------------
+
+class TestJsonlRoundTrip:
+    def test_spans_and_counters_replay(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rec = Recorder()
+        rec.add_sink(JsonlSink(path))
+        with rec.span("outer", n=7):
+            with rec.span("inner"):
+                rec.add("events", kind="x")
+        rec.add("events", 2, kind="y")
+        rec.set_gauge("workers", 4)
+        rec.flush_sinks()
+        rec.close_sinks()
+
+        data = load_trace(path)
+        names = {s["name"]: s for s in data["spans"]}
+        assert set(names) == {"outer", "inner"}
+        assert names["inner"]["parent"] == names["outer"]["id"]
+        assert names["outer"]["attrs"]["n"] == 7
+        assert data["counters"] == {"events{kind=x}": 1, "events{kind=y}": 2}
+        assert data["gauges"] == {"workers": 4}
+        # Every line on disk is valid standalone JSON (appendable format).
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_multi_flush_keeps_last_snapshot_per_pid(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rec = Recorder()
+        rec.add_sink(JsonlSink(path))
+        rec.add("events")
+        rec.flush_sinks()
+        rec.add("events")
+        rec.flush_sinks()
+        rec.close_sinks()
+        # Cumulative snapshots: the later one wins, no double counting.
+        assert load_trace(path)["counters"] == {"events": 2}
+
+    def test_prometheus_text_from_trace(self, tmp_path):
+        text = prometheus_text({"kernel.dispatch{backend=numpy}": 3}, {"w": 2})
+        assert 'repro_kernel_dispatch_total{backend="numpy"} 3' in text
+        assert "# TYPE repro_w gauge" in text
+
+
+# ----------------------------------------------------------------------
+# Bench metadata and env kill switch
+# ----------------------------------------------------------------------
+
+class TestIntegrationSurface:
+    def test_execution_metadata_carries_obs_summary(self, graph):
+        from repro.bench.harness import execution_metadata
+
+        BestKIndex(graph, jobs=1, store=False).best_set("average_degree")
+        meta = execution_metadata(jobs=1)
+        assert meta["obs"]["enabled"] is True
+        assert meta["obs"]["spans"] > 0
+        assert any(k.startswith("kernel.dispatch") for k in meta["obs"]["counters"])
+
+    def test_repro_obs_env_kill_switch(self):
+        import subprocess
+        import sys
+
+        code = (
+            "from repro import obs\n"
+            "with obs.span('x'):\n"
+            "    obs.add('c')\n"
+            "assert not obs.enabled()\n"
+            "assert not obs.spans() and not obs.counters()\n"
+            "print('ok')\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": "src", "REPRO_OBS": "0", "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, cwd="/root/repo",
+        )
+        assert out.returncode == 0 and out.stdout.strip() == "ok"

@@ -178,14 +178,15 @@ class TestSharedGraph:
 class TestWorker:
     def test_invalid_params_return_empty_payload(self, graph):
         handle = GraphHandle("pickle", arrays=(graph.indptr, graph.indices))
-        name, payloads, seconds = build_family_artifacts(
+        name, payloads, seconds, spans, counters = build_family_artifacts(
             (handle, "weighted", {}, "numpy", ("decompose",))
         )
         assert name == "weighted" and payloads == {} and seconds == {}
+        assert any(s["name"] == "worker:build" for s in spans)
 
     def test_worker_payload_round_trips(self, graph):
         handle = GraphHandle("pickle", arrays=(graph.indptr, graph.indices))
-        _, payloads, seconds = build_family_artifacts(
+        _, payloads, seconds, _, _ = build_family_artifacts(
             (handle, "core", {}, "numpy", ("decompose", "order", "level_totals"))
         )
         assert set(payloads) == {"decompose", "order", "level_totals"}
