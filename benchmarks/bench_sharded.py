@@ -1,0 +1,248 @@
+#!/usr/bin/env python
+"""Benchmark the sharded h-index fixpoint core-number engine.
+
+Two comparisons per synthetic dataset, both against serial
+Batagelj–Zaversnik peeling (``engine="peel"``):
+
+* **sharded (in-RAM)** — :func:`repro.parallel.sharded.sharded_core_numbers`
+  at 1, 2 and 4 workers, shared-memory handoff, rounds-to-convergence and
+  wall time recorded per worker count.  The 1-worker run is the baseline
+  of the speedup column.
+* **semi-external** — the same graph decomposed from an mmap'd ``.npy``
+  edge file with the per-round adjacency slice capped at an eighth of
+  the on-disk CSR.  The run records ``peak_slice_bytes`` — the largest
+  CSR slice any kernel or build chunk held resident — which must stay
+  below the full-graph CSR footprint (that bound is the whole point of
+  the out-of-core path, so it is asserted on every run, smoke included).
+
+Every configuration's core numbers are asserted **bit-identical** to
+peeling — the engine is a pure performance knob.
+
+Results are written as JSON::
+
+    {"datasets": [{"dataset": ..., "sharded": {"runs": [...]},
+                   "semi_external": {...}}, ...],
+     "acceptance": {...}, "metadata": {...}}
+
+Acceptance bars (largest dataset of a full run): 4-worker speedup >= 1.3x
+over the 1-worker fixpoint — only meaningful (and only enforced) when the
+machine has at least 4 CPUs — and the semi-external peak resident slice
+< the full CSR size (always enforced).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py            # full suite
+    PYTHONPATH=src python benchmarks/bench_sharded.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_sharded.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from _machine import machine_metadata
+from repro.core import core_decomposition
+from repro.generators.random_graphs import powerlaw_chung_lu
+from repro.generators.rmat import rmat_graph
+from repro.generators.smallworld import watts_strogatz
+from repro.kernels import get_backend
+from repro.parallel.sharded import (
+    semi_external_core_numbers,
+    sharded_core_numbers,
+    write_edge_npy,
+)
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
+
+#: name -> zero-argument factory, ascending size; the last entry is the
+#: "largest synthetic graph" of the acceptance bars.
+SUITE = {
+    "ws-60k": lambda: watts_strogatz(15_000, 4, 0.1, seed=7),
+    "rmat-120k": lambda: rmat_graph(14, 120_000, seed=7),
+    "cl-200k": lambda: powerlaw_chung_lu(40_000, 8.0, 2.3, seed=7),
+    "rmat-500k": lambda: rmat_graph(16, 500_000, seed=7),
+}
+SMOKE_SUITE = {
+    "cl-1k": lambda: powerlaw_chung_lu(500, 4.0, 2.3, seed=7),
+    "rmat-2k": lambda: rmat_graph(9, 2_000, seed=7),
+}
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _edge_array(graph) -> np.ndarray:
+    """Undirected edge list (u < v) recovered from the CSR."""
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    dst = graph.indices
+    keep = src < dst
+    return np.column_stack((src[keep], dst[keep]))
+
+
+def bench_sharded(name: str, graph, peel: np.ndarray) -> dict:
+    """In-RAM fixpoint wall time at 1/2/4 workers, bit-identity asserted."""
+    runs = []
+    serial_seconds = None
+    for jobs in WORKER_COUNTS:
+        start = time.perf_counter()
+        result = sharded_core_numbers(graph, jobs=jobs, shards=max(jobs, 1))
+        seconds = time.perf_counter() - start
+        assert np.array_equal(result.coreness, peel), (
+            f"{name}/jobs={jobs}: sharded coreness diverged from peeling"
+        )
+        if jobs == 1:
+            serial_seconds = seconds
+        runs.append({
+            "jobs": jobs,
+            "mode": result.mode,
+            "shards": result.shards,
+            "rounds": result.rounds,
+            "seconds": round(seconds, 6),
+            "speedup_vs_1worker": round(serial_seconds / max(seconds, 1e-9), 2),
+        })
+        print(
+            f"  sharded jobs={jobs} ({result.mode:6s})  {seconds * 1e3:9.1f} ms   "
+            f"rounds {result.rounds:3d}   "
+            f"speedup {runs[-1]['speedup_vs_1worker']:5.2f}x",
+            flush=True,
+        )
+    return {"runs": runs, "identical": True}
+
+
+def bench_semi_external(name: str, graph, peel: np.ndarray) -> dict:
+    """Out-of-core decomposition from an mmap'd edge file, slice bound checked."""
+    csr_bytes = int(graph.indices.nbytes)
+    # Scale the build-pass chunk with the graph so even smoke-sized edge
+    # files take several passes — otherwise one resident chunk spans the
+    # whole CSR and the memory bound below measures nothing.
+    chunk_edges = max(256, graph.num_edges // 8)
+    with tempfile.TemporaryDirectory(prefix="bench-sharded-") as tmp:
+        edges_path = write_edge_npy(
+            _edge_array(graph), pathlib.Path(tmp) / "edges.npy"
+        )
+        start = time.perf_counter()
+        result = semi_external_core_numbers(
+            edges_path, num_vertices=graph.num_vertices, jobs=2, shards=2,
+            max_slice_bytes=max(4096, csr_bytes // 8),
+            chunk_edges=chunk_edges,
+        )
+        seconds = time.perf_counter() - start
+    assert np.array_equal(result.coreness, peel), (
+        f"{name}/semi-external: coreness diverged from peeling"
+    )
+    # The memory bound is the out-of-core path's reason to exist; a run
+    # whose resident slice matches the whole CSR is just a slow in-RAM run.
+    assert result.peak_slice_bytes < csr_bytes, (
+        f"{name}/semi-external: peak slice {result.peak_slice_bytes} B "
+        f"not below full CSR {csr_bytes} B"
+    )
+    row = {
+        "seconds": round(seconds, 6),
+        "mode": result.mode,
+        "rounds": result.rounds,
+        "peak_slice_bytes": int(result.peak_slice_bytes),
+        "csr_bytes": csr_bytes,
+        "slice_fraction": round(result.peak_slice_bytes / max(csr_bytes, 1), 4),
+        "identical": True,
+    }
+    print(
+        f"  semi-external ({result.mode:6s})  {seconds * 1e3:9.1f} ms   "
+        f"rounds {result.rounds:3d}   peak slice "
+        f"{row['peak_slice_bytes']} B ({row['slice_fraction'] * 100:.1f}% of CSR)",
+        flush=True,
+    )
+    return row
+
+
+def bench_dataset(name: str, graph) -> dict:
+    n, m = graph.num_vertices, graph.num_edges
+    print(f"[{name}] n={n} m={m}", flush=True)
+    start = time.perf_counter()
+    peel = core_decomposition(graph, engine="peel").coreness
+    peel_seconds = time.perf_counter() - start
+    print(f"  peel baseline        {peel_seconds * 1e3:9.1f} ms", flush=True)
+    return {
+        "dataset": name,
+        "n": n,
+        "m": m,
+        "kmax": int(peel.max()) if len(peel) else 0,
+        "peel_seconds": round(peel_seconds, 6),
+        "sharded": bench_sharded(name, graph, peel),
+        "semi_external": bench_semi_external(name, graph, peel),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny graphs only (CI smoke test; speedup bar not enforced)",
+    )
+    parser.add_argument(
+        "-o", "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT.name} at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    # Force the pool on for the worker-count sweep even on smoke-sized
+    # graphs — the bench measures the pool path, not the size heuristic.
+    os.environ.setdefault("REPRO_SHARDED_MIN_POOL", "0")
+
+    backend = get_backend()
+    suite = SMOKE_SUITE if args.smoke else SUITE
+    rows = [bench_dataset(name, factory()) for name, factory in suite.items()]
+
+    largest = rows[-1]
+    cpu_count = os.cpu_count() or 1
+    four_worker = next(
+        (r for r in largest["sharded"]["runs"] if r["jobs"] == 4), None
+    )
+    acceptance = {
+        "largest_dataset": largest["dataset"],
+        "cpu_count": cpu_count,
+        "sharded_speedup_at_4": None if four_worker is None
+        else four_worker["speedup_vs_1worker"],
+        "sharded_target": 1.3,
+        # A multi-worker speedup bar is unfalsifiable on a <4-core box:
+        # record the number, enforce only where it means something.
+        "sharded_enforceable": cpu_count >= 4,
+        "semi_external_slice_fraction": largest["semi_external"]["slice_fraction"],
+        "identical": all(
+            r["sharded"]["identical"] and r["semi_external"]["identical"]
+            for r in rows
+        ),
+        "enforced": not args.smoke,
+    }
+    report = {
+        "datasets": rows,
+        "acceptance": acceptance,
+        "metadata": machine_metadata(backend.name),
+        "output": {"smoke": args.smoke},
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+    print(
+        f"{largest['dataset']}: sharded speedup at 4 workers "
+        f"{acceptance['sharded_speedup_at_4']}x (target {acceptance['sharded_target']}x, "
+        f"{'enforced' if acceptance['sharded_enforceable'] else f'not enforceable on {cpu_count} CPU(s)'}), "
+        f"semi-external peak slice {acceptance['semi_external_slice_fraction'] * 100:.1f}% of CSR"
+    )
+    if not args.smoke and acceptance["sharded_enforceable"]:
+        if acceptance["sharded_speedup_at_4"] < acceptance["sharded_target"]:
+            print("acceptance bars NOT met", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

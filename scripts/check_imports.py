@@ -13,9 +13,16 @@ Layering (DESIGN.md, engine section):
   ``repro.ecc``) — may depend on ``engine``, ``kernels``, ``graph``,
   ``errors``, ``generators`` — and NEVER on each other.
 * ``repro.parallel`` — execution plumbing above the foundation but below
-  the index: may use ``graph``/``errors``, must not import the engine, a
-  family package, or anything higher (families never fan themselves out;
-  only ``repro.index`` and the apps layer schedule work).
+  the index: may use ``graph``/``errors``/``kernels``, must not import
+  the engine, a family package, or anything higher (families never fan
+  themselves out; only ``repro.index`` and the apps layer schedule
+  work).  Within the package the kernels dependency is confined to the
+  sharded fixpoint engine: ``parallel.sharded`` may import ``kernels``,
+  the plumbing modules (``parallel.pool``, ``parallel.shm``, the package
+  ``__init__``) may not (see ``FORBIDDEN_MODULES``).  The reverse seam —
+  ``repro.core`` dispatching to the sharded engine — crosses lazily via
+  ``importlib`` inside a function body, the same sanctioned idiom as the
+  engine -> family bootstrap.
 * ``repro.obs`` — the observability leaf: stdlib only, must not import
   *anything* from ``repro``.  Conversely the family packages, ``graph``
   and ``errors`` must never import it — algorithm code stays free of
@@ -68,6 +75,17 @@ for _family in FAMILY_PACKAGES:
     FORBIDDEN[_family] = tuple(f for f in FAMILY_PACKAGES if f != _family) + (
         "parallel", "index", "apps", "bench", "cli", "obs",
     )
+
+#: full module name -> repro subpackages that *specific module* must not
+#: import, on top of its package's FORBIDDEN entry.  ``repro.parallel``
+#: as a whole is allowed to use kernels, but only the sharded fixpoint
+#: engine actually may — the pool/shm plumbing (and the package
+#: ``__init__``, which the index imports eagerly) stays kernel-free.
+FORBIDDEN_MODULES: dict[str, tuple[str, ...]] = {
+    "repro.parallel": ("kernels",),
+    "repro.parallel.pool": ("kernels",),
+    "repro.parallel.shm": ("kernels",),
+}
 
 
 def module_name(path: Path) -> str:
@@ -125,16 +143,17 @@ def owning_subpackage(dotted: str) -> str | None:
 def check() -> list[str]:
     violations: list[str] = []
     for path in sorted((SRC / PACKAGE).rglob("*.py")):
-        source_pkg = owning_subpackage(module_name(path) + ".x")
-        if source_pkg not in FORBIDDEN:
+        mod = module_name(path)
+        source_pkg = owning_subpackage(mod + ".x")
+        banned = FORBIDDEN.get(source_pkg, ()) + FORBIDDEN_MODULES.get(mod, ())
+        if not banned:
             continue
-        banned = FORBIDDEN[source_pkg]
         for lineno, target in imported_targets(path):
             target_pkg = owning_subpackage(target)
             if target_pkg in banned:
                 violations.append(
                     f"{path.relative_to(SRC.parent)}:{lineno}: "
-                    f"{source_pkg!r} must not import {PACKAGE}.{target_pkg} "
+                    f"{mod!r} must not import {PACKAGE}.{target_pkg} "
                     f"(got {target})"
                 )
     return violations

@@ -96,6 +96,11 @@ def _index_args(p: argparse.ArgumentParser) -> None:
              "(default: REPRO_CACHE_DIR, or no cache)",
     )
     p.add_argument(
+        "--engine", default=None, choices=("peel", "sharded"),
+        help="core-number engine: serial peel or the sharded h-index "
+             "fixpoint (bit-identical; default: REPRO_ENGINE or peel)",
+    )
+    p.add_argument(
         "--trace", default=None, metavar="FILE",
         help="append obs spans/counters to FILE as JSON lines "
              "(same as REPRO_TRACE; inspect with 'bestk stats FILE')",
@@ -115,6 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("decompose", help="coreness statistics")
     graph_arg(p)
+    p.add_argument(
+        "--engine", default=None, choices=("peel", "sharded"),
+        help="core-number engine (bit-identical; default: REPRO_ENGINE or peel)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the sharded engine "
+             "(default: REPRO_JOBS or serial; 0 means all cores)",
+    )
 
     for name, helptext in (
         ("set", "best level set of a hierarchy family (Problem 1)"),
@@ -211,7 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_decompose(args) -> int:
     from .graph import graph_summary
     graph = _load_graph(args.graph)
-    decomp = core_decomposition(graph)
+    decomp = core_decomposition(graph, engine=args.engine, jobs=args.jobs)
     print(graph_summary(graph).render())
     print(f"kmax (degeneracy) = {decomp.kmax}")
     for k in range(decomp.kmax + 1):
@@ -236,7 +250,10 @@ def _cmd_bestk(args, which: str) -> int:
         "cli:" + which, n=graph.num_vertices, m=graph.num_edges,
         all_metrics=bool(args.all_metrics),
     ):
-        index = BestKIndex(graph, jobs=args.jobs, store=args.cache_dir or None)
+        index = BestKIndex(
+            graph, jobs=args.jobs, store=args.cache_dir or None,
+            engine=args.engine,
+        )
         start = time.perf_counter()
         if which == "core":
             # Problem 2 stays core-specific (Algorithm 5 over the core forest).
@@ -381,7 +398,7 @@ def _cmd_cache(args) -> int:
 
     graph = _load_graph(args.graph)
     families = tuple(args.family) if args.family else ("core", "truss")
-    index = BestKIndex(graph, jobs=args.jobs, store=store)
+    index = BestKIndex(graph, jobs=args.jobs, store=store, engine=args.engine)
     built = index.prebuild(families, problem2=True)
     for name, artifacts in built.items():
         print(f"warmed {name}: {', '.join(artifacts)}")

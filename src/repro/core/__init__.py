@@ -28,7 +28,7 @@ from .bestk_set import (
     kcore_set_scores,
 )
 from .combine import CombinedBestK, combined_kcore_scores, combined_kcore_set_scores
-from .decomposition import CoreDecomposition, core_decomposition
+from .decomposition import ENGINES, CoreDecomposition, core_decomposition, resolve_engine
 from .dynamic import DynamicCoreness
 from .family import CoreFamily, core_level_view
 from .iterative import core_decomposition_hindex, semi_external_core_decomposition
@@ -53,6 +53,7 @@ __all__ = [
     "CoreForest",
     "CoreNode",
     "DynamicCoreness",
+    "ENGINES",
     "GraphTotals",
     "KCoreScores",
     "KCoreSetScores",
@@ -82,5 +83,6 @@ __all__ = [
     "order_vertices",
     "primary_values",
     "register_metric",
+    "resolve_engine",
     "semi_external_core_decomposition",
 ]

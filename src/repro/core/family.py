@@ -52,9 +52,12 @@ class CoreFamily(HierarchyFamily):
     paper_section = "III-IV"
     description = "maximal subgraphs where every vertex keeps degree >= k"
     supports_store = True
+    supports_engine = True
 
-    def decompose(self, graph, *, backend=None, **params) -> CoreDecomposition:
-        return core_decomposition(graph, backend=backend)
+    def decompose(
+        self, graph, *, backend=None, engine=None, jobs=None, **params
+    ) -> CoreDecomposition:
+        return core_decomposition(graph, backend=backend, engine=engine, jobs=jobs)
 
     def levels(self, decomposition: CoreDecomposition, **params) -> np.ndarray:
         return decomposition.coreness

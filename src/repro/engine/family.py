@@ -94,6 +94,11 @@ class HierarchyFamily:
     #: (:meth:`dump_decomposition` / :meth:`load_decomposition`) and may
     #: therefore be written to / hydrated from an on-disk artifact store.
     supports_store: bool = False
+    #: Whether :meth:`decompose` accepts ``engine=`` / ``jobs=`` selectors
+    #: (alternate core-number producers, e.g. the sharded h-index
+    #: fixpoint).  Engines are bit-identical by contract, so the selection
+    #: never participates in cache or store tokens.
+    supports_engine: bool = False
 
     # -- abstract hooks -------------------------------------------------
 

@@ -149,6 +149,11 @@ class BestKIndex:
         :class:`~repro.index.store.ArtifactStore`, a directory path, or
         ``None`` to defer to ``REPRO_CACHE_DIR`` (off when unset).
         ``False`` forces off regardless of the environment.
+    engine:
+        Core-number producer for engine-aware families (``"peel"`` or
+        ``"sharded"``); ``None`` defers to ``REPRO_ENGINE``.  Engines are
+        bit-identical by contract, so results and store bundles are
+        unaffected — only how the decomposition is computed.
 
     Examples
     --------
@@ -159,13 +164,20 @@ class BestKIndex:
     >>> index.score_cores_all_metrics()                 # doctest: +SKIP
     """
 
-    def __init__(self, graph: Graph, *, backend=None, jobs: int | None = None, store=None):
+    def __init__(
+        self, graph: Graph, *, backend=None, jobs: int | None = None,
+        store=None, engine: str | None = None,
+    ):
         self.graph = graph
         self.backend = backend
         #: Resolved kernel-backend name; part of every store bundle key so
         #: artifacts built by different backends never alias on disk.
         self.backend_name = get_backend(backend).name
         self.jobs = jobs
+        #: Core-number engine selector for families with
+        #: ``supports_engine`` (``None`` → ``REPRO_ENGINE`` → peel).
+        #: Engines are bit-identical, so this never touches bundle keys.
+        self.engine = engine
         self.store = resolve_store(store)
         self._artifacts: dict[str, object] = {}
         #: Wall seconds spent building each artifact, by artifact key.
@@ -297,9 +309,16 @@ class BestKIndex:
         """The family's decomposition, built on first use and cached."""
         fam = get_family(family)
         self._sync_token(fam, params)
+        # Engine/jobs are execution knobs, not parametrisation: they reach
+        # engine-aware families' decompose() but never the token/store
+        # params (engines are bit-identical, so artifacts must alias).
+        extra = (
+            {"engine": self.engine, "jobs": self.jobs}
+            if getattr(fam, "supports_engine", False) else {}
+        )
         return self._get(
             f"{fam.name}:decompose",
-            lambda: fam.decompose(self.graph, backend=self.backend, **params),
+            lambda: fam.decompose(self.graph, backend=self.backend, **extra, **params),
             persist=(fam, params),
         )
 
@@ -515,7 +534,8 @@ class BestKIndex:
                 results = parallel_map(
                     build_family_artifacts,
                     [
-                        (sg.handle, fam.name, params, self.backend_name, names)
+                        (sg.handle, fam.name, params, self.backend_name, names,
+                         self.engine)
                         for fam, params, names in tasks
                     ],
                     jobs=workers,

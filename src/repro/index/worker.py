@@ -39,8 +39,10 @@ def build_family_artifacts(
 ) -> tuple[str, dict[str, dict[str, np.ndarray]], dict[str, float], list[dict], dict]:
     """Build the requested artifacts of one family in this process.
 
-    ``task`` is ``(handle, family_name, params, backend_name, names)``.
-    Returns ``(family_name, payloads, build_seconds, spans, counters)``;
+    ``task`` is ``(handle, family_name, params, backend_name, names)``
+    with an optional trailing ``engine`` selector for engine-aware
+    families.  Returns
+    ``(family_name, payloads, build_seconds, spans, counters)``;
     payload arrays are fresh (never views into the shared graph), so
     pickling them back is safe and the shared mapping can be released.
     ``spans`` / ``counters`` are the obs records captured while building,
@@ -48,7 +50,8 @@ def build_family_artifacts(
     params are invalid here (exactly the errors the serial sweep skips)
     return an empty payload instead of poisoning the whole pool map.
     """
-    handle, family_name, params, backend_name, names = task
+    handle, family_name, params, backend_name, names = task[:5]
+    engine = task[5] if len(task) > 5 else None
     graph = release = None
     try:
         from .bestk_index import BestKIndex
@@ -68,7 +71,12 @@ def build_family_artifacts(
                 # counter back with the result, so the parent's totals say
                 # how workers actually received the graph.
                 graph, release = handle.attach()
-                index = BestKIndex(graph, backend=backend_name, jobs=1, store=False)
+                # jobs=1: the worker is already one fan-out leaf; engine-
+                # aware families additionally guard against nested pools.
+                index = BestKIndex(
+                    graph, backend=backend_name, jobs=1, store=False,
+                    engine=engine,
+                )
                 try:
                     for name in names:
                         index.artifact(fam, name, **params)

@@ -67,6 +67,7 @@ _REGISTRY: dict[str, KernelBackend] = {}
 KERNEL_METHODS = (
     "peel_coreness",
     "peel_exact",
+    "hindex_fixpoint",
     "count_triangles",
     "triangles_per_vertex",
     "edge_supports",

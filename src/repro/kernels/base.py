@@ -51,6 +51,24 @@ class KernelBackend:
         """
         return exact_peel(graph)
 
+    def hindex_fixpoint(self, graph: Graph, estimate: np.ndarray, vertices: np.ndarray) -> np.ndarray:
+        """One synchronous round of the h-index fixpoint over ``vertices``.
+
+        ``estimate`` is the current per-vertex coreness upper bound (the
+        fixpoint starts from degrees); the return value is the refreshed
+        estimate for exactly the ``vertices`` slice: for each ``v`` the
+        h-index of ``{estimate[u] : u in N(v)}``, clipped to ``estimate[v]``
+        (the operator is monotone non-increasing, so the clip is a no-op on
+        correct inputs but keeps adversarial inputs safe).  ``estimate`` is
+        never written — callers apply the update, which is what makes the
+        Jacobi round of the sharded engine (:mod:`repro.parallel.sharded`)
+        deterministic across any shard partition.
+
+        Iterating to the fixpoint yields exact coreness (Lü et al. 2016),
+        which is why the sharded engine is bit-identical to peeling.
+        """
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     # Triangles
     # ------------------------------------------------------------------

@@ -84,6 +84,27 @@ class NumpyBackend(KernelBackend):
             k += 1
         return coreness
 
+    def hindex_fixpoint(self, graph: Graph, estimate: np.ndarray, vertices: np.ndarray) -> np.ndarray:
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return np.empty(0, dtype=np.int64)
+        indptr, indices = graph.indptr, graph.indices
+        starts, stops = indptr[vertices], indptr[vertices + 1]
+        lens = stops - starts
+        nbr_vals = estimate[concat_ranges(indices, starts, stops)]
+        seg = np.repeat(np.arange(vertices.size, dtype=np.int64), lens)
+        # Descending values within each segment: one global lexsort replaces
+        # a per-vertex sort.  With values descending and the in-segment
+        # position ascending, ``value >= position + 1`` is a prefix property,
+        # so the h-index is simply the per-segment count of satisfied rows.
+        order = np.lexsort((-nbr_vals, seg))
+        svals = nbr_vals[order]
+        offsets = np.zeros(vertices.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        pos = np.arange(svals.size, dtype=np.int64) - offsets[seg]
+        h = np.bincount(seg[svals >= pos + 1], minlength=vertices.size)
+        return np.minimum(h.astype(np.int64), estimate[vertices])
+
     # ------------------------------------------------------------------
     def count_triangles(self, graph: Graph) -> int:
         total = 0

@@ -27,6 +27,23 @@ class PythonBackend(KernelBackend):
         coreness, _ = exact_peel(graph)
         return coreness
 
+    def hindex_fixpoint(self, graph: Graph, estimate: np.ndarray, vertices: np.ndarray) -> np.ndarray:
+        out = np.empty(len(vertices), dtype=np.int64)
+        indptr, indices = graph.indptr, graph.indices
+        for i, v in enumerate(np.asarray(vertices, dtype=np.int64).tolist()):
+            vals = sorted(
+                (int(estimate[u]) for u in indices[indptr[v]:indptr[v + 1]]),
+                reverse=True,
+            )
+            h = 0
+            for value in vals:
+                if value >= h + 1:
+                    h += 1
+                else:
+                    break
+            out[i] = min(h, int(estimate[v]))
+        return out
+
     # ------------------------------------------------------------------
     def count_triangles(self, graph: Graph) -> int:
         out_ptr, out_idx, order_val = rank_forward_adjacency(graph)

@@ -9,8 +9,9 @@ instead of erroring — results are identical either way, which is what
 lets every caller treat ``jobs`` as a pure performance knob.
 
 Worker-count resolution (:func:`resolve_jobs`): an explicit ``jobs``
-argument wins, then the ``REPRO_JOBS`` environment variable, then serial;
-``0`` or a negative value means "all cores".
+argument wins (``0`` or a negative value means "all cores"), then the
+``REPRO_JOBS`` environment variable (non-positive or non-integer values
+clamp to ``1`` with a logged warning), then serial.
 
 Silent degradation is a thing of the past: every dispatch runs inside a
 ``parallel:map`` :mod:`repro.obs` span whose ``mode`` attribute says
@@ -25,6 +26,7 @@ separately by :mod:`repro.parallel.shm` as ``shm.export`` /
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -37,17 +39,32 @@ __all__ = ["resolve_jobs", "parallel_map"]
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
+_log = logging.getLogger(__name__)
+
 
 def resolve_jobs(jobs: int | None = None) -> int:
-    """Resolve a requested worker count to a concrete positive integer."""
+    """Resolve a requested worker count to a concrete positive integer.
+
+    An explicit ``jobs`` argument wins (``0`` or negative meaning "all
+    cores"), then ``REPRO_JOBS``, then serial.  The environment path is
+    stricter than the argument path: ``REPRO_JOBS`` values that are not a
+    positive integer (garbage strings, ``0``, negatives) clamp to ``1``
+    with a logged warning — an env var typo should degrade to the safe
+    serial default, never silently fan out to every core.
+    """
     if jobs is None:
         raw = os.environ.get("REPRO_JOBS", "").strip()
         if not raw:
             return 1
         try:
-            jobs = int(raw)
+            env_jobs = int(raw)
         except ValueError:
+            _log.warning("REPRO_JOBS=%r is not an integer; using 1 worker", raw)
             return 1
+        if env_jobs <= 0:
+            _log.warning("REPRO_JOBS=%r is not a positive integer; using 1 worker", raw)
+            return 1
+        return env_jobs
     if jobs <= 0:
         return os.cpu_count() or 1
     return int(jobs)

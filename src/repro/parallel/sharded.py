@@ -1,0 +1,683 @@
+"""Sharded h-index fixpoint core decomposition.
+
+The peeling engines remove vertices one at a time from a global bucket
+queue — inherently serial and inherently in-RAM.  This module is the
+package's first *scalable* core-number producer: the locality/h-index
+fixpoint of Lü et al. (2016) and Montresor et al.'s distributed k-core
+formulation, which needs nothing but neighbour reads per vertex:
+
+    c_0(v)   = deg(v)
+    c_{i+1}(v) = H({ c_i(u) : u in N(v) })          (clipped to c_i(v))
+
+where ``H`` is the h-index.  The operator is monotone non-increasing and
+converges to the exact coreness, so the result is **bit-identical** to
+Batagelj–Zaversnik peeling — switching engines is purely a performance
+decision, like switching kernel backends.
+
+Execution model (Jacobi, not Gauss–Seidel): every round reads a *frozen*
+estimate vector and the refreshed values are applied only after the whole
+round completes.  That makes the result independent of shard count, task
+order and scheduling — the property every equivalence test here leans on.
+The CSR is partitioned into edge-balanced vertex ranges
+(:func:`shard_ranges`); workers attach to the parent's graph and estimate
+buffers zero-copy (:mod:`repro.parallel.shm`) and each round only
+processes the *active frontier*: vertices with a changed neighbour whose
+new value undercuts their own estimate.
+
+Two entry points:
+
+* :func:`sharded_core_numbers` — in-RAM graph, shared-memory handoff;
+* :func:`semi_external_core_numbers` — the out-of-core path: edges live
+  in an mmap'd ``.npy`` file, the CSR is built *on disk* in chunked
+  passes (never materialising the full adjacency in RAM), workers mmap
+  the on-disk CSR, per-round kernel slices are capped at
+  ``max_slice_bytes``, and per-shard state checkpoints through
+  :class:`~repro.index.store.ArtifactStore` shard keys so an interrupted
+  decomposition resumes instead of restarting.
+
+Layering: this module sits *above* :mod:`repro.kernels` (the only
+``parallel`` submodule allowed to — ``scripts/check_imports.py`` enforces
+it) and below the engine; :func:`repro.core.core_decomposition` reaches
+it lazily via ``importlib`` when ``engine="sharded"`` / ``REPRO_ENGINE=
+sharded`` is selected.  It must never import ``engine``/``index`` — the
+checkpoint store arrives by injection (any object with
+``save_shard_state``/``load_shard_state``).
+
+Observability: the whole run is a ``sharded:decompose`` span, each sweep
+a ``sharded:round`` span carrying ``changed``/``active`` counts, and the
+rounds-to-convergence lands on the ``parallel:round`` gauge (surfaced by
+``bestk stats``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .. import obs
+from ..errors import GraphFormatError
+from ..graph.csr import Graph
+from ..kernels import get_backend
+from ..kernels.common import concat_ranges
+from .pool import _fork_context, resolve_jobs
+from .shm import SharedArray, SharedGraph, mmap_graph
+
+__all__ = [
+    "ShardedResult",
+    "shard_ranges",
+    "sharded_core_numbers",
+    "semi_external_core_numbers",
+    "write_edge_npy",
+]
+
+#: Below this vertex count a process pool costs more than it saves; the
+#: engine silently runs the identical fixpoint in-process (Jacobi rounds
+#: make the two paths indistinguishable).  ``REPRO_SHARDED_MIN_POOL``
+#: overrides, mainly so tests can force the pool on tiny graphs.
+MIN_POOL_VERTICES = 4096
+
+#: Default number of edge entries per chunk in the semi-external CSR
+#: build passes (~4 MiB of edge pairs resident at a time).
+DEFAULT_CHUNK_EDGES = 1 << 18
+
+
+@dataclass(frozen=True)
+class ShardedResult:
+    """Outcome of one sharded fixpoint run."""
+
+    #: Exact coreness per vertex — bit-identical to bucket peeling.
+    coreness: np.ndarray
+    #: Synchronous sweeps executed until the frontier emptied (including
+    #: the final all-quiet sweep; resumed rounds from a checkpoint count).
+    rounds: int
+    #: Vertex-range shards the CSR was partitioned into.
+    shards: int
+    #: ``"pool"`` when worker processes ran the rounds, else ``"serial"``.
+    mode: str
+    #: Largest CSR adjacency slice (bytes) gathered by any single kernel
+    #: or build chunk — the semi-external memory bound.  ``None`` when no
+    #: slice cap was in force (the in-RAM path).
+    peak_slice_bytes: int | None = None
+    #: Round the run resumed from via a shard-state checkpoint (0 = cold).
+    resumed_round: int = 0
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+
+def shard_ranges(indptr: np.ndarray, shards: int) -> list[tuple[int, int]]:
+    """Edge-balanced vertex ranges ``[(lo, hi), ...]`` covering the graph.
+
+    Boundaries are chosen so each shard holds roughly ``m / shards``
+    adjacency entries (vertex ranges, so each shard's CSR rows are one
+    contiguous slice).  Degenerate shards (empty vertex ranges) are
+    dropped, so fewer than ``shards`` ranges may come back.
+    """
+    n = len(indptr) - 1
+    if n <= 0:
+        return []
+    shards = max(1, min(int(shards), n))
+    targets = (np.arange(1, shards, dtype=np.int64) * int(indptr[-1])) // shards
+    cuts = np.searchsorted(indptr, targets, side="left")
+    bounds = np.unique(np.concatenate(([0], cuts, [n])))
+    return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+
+def _split_chunks(
+    active: np.ndarray,
+    ranges: list[tuple[int, int]],
+    indptr: np.ndarray,
+    cap_entries: int | None,
+) -> tuple[list[np.ndarray], int]:
+    """Partition the sorted frontier by shard, sub-capped by slice size.
+
+    Returns ``(chunks, peak_entries)`` where concatenating the chunks
+    reproduces ``active`` in order and no chunk gathers more than
+    ``cap_entries`` adjacency entries (single oversized vertices still
+    ship alone — a row is the atomic unit).
+    """
+    chunks: list[np.ndarray] = []
+    peak = 0
+    for lo, hi in ranges:
+        part = active[np.searchsorted(active, lo):np.searchsorted(active, hi)]
+        if part.size == 0:
+            continue
+        lens = indptr[part + 1] - indptr[part]
+        total = int(lens.sum())
+        if cap_entries is None or total <= cap_entries:
+            chunks.append(part)
+            peak = max(peak, total)
+            continue
+        cum = np.cumsum(lens)
+        start = 0
+        while start < part.size:
+            base = int(cum[start - 1]) if start else 0
+            stop = int(np.searchsorted(cum, base + cap_entries, side="right"))
+            if stop <= start:
+                stop = start + 1
+            chunks.append(part[start:stop])
+            peak = max(peak, int(cum[stop - 1]) - base)
+            start = stop
+    return chunks, peak
+
+
+# ----------------------------------------------------------------------
+# Round execution: one in-process, one across the pool
+# ----------------------------------------------------------------------
+
+#: Per-worker-process attachments, keyed by segment/path identity so a
+#: pool reused across rounds attaches exactly once.  Mappings are
+#: released by worker exit (pools are per-decomposition).
+_ATTACH_CACHE: dict = {}
+
+
+def _cached_graph(handle) -> Graph:
+    if handle.mode == "shm":
+        key = ("graph", handle.segments)
+    elif handle.mode == "mmap":
+        key = ("graph", handle.paths)
+    else:
+        return handle.attach()[0]
+    if key not in _ATTACH_CACHE:
+        # Cache the release closure too: it holds the SharedMemory objects
+        # alive — dropping it would let their finalizer unmap the buffer
+        # under the cached views.
+        _ATTACH_CACHE[key] = handle.attach()
+    return _ATTACH_CACHE[key][0]
+
+
+def _cached_estimate(handle) -> np.ndarray:
+    if handle.mode != "shm":
+        # Inline handles carry a snapshot taken at task-pickle time; the
+        # parent re-sends them every round, so no caching.
+        return handle.array
+    key = ("estimate", handle.name)
+    if key not in _ATTACH_CACHE:
+        _ATTACH_CACHE[key] = handle.attach()
+    return _ATTACH_CACHE[key][0]
+
+
+def _round_worker(task) -> np.ndarray:
+    """Pool task: refresh one chunk of the frontier (read-only)."""
+    graph_handle, est_handle, backend_name, vertices = task
+    graph = _cached_graph(graph_handle)
+    estimate = _cached_estimate(est_handle)
+    return get_backend(backend_name).hindex_fixpoint(graph, estimate, vertices)
+
+
+class _SerialRunner:
+    """Runs a round's chunks in-process (reference execution path)."""
+
+    mode = "serial"
+
+    def __init__(self, graph: Graph, estimate: np.ndarray, backend):
+        self.graph = graph
+        self.estimate = estimate
+        self.backend = backend
+
+    def run(self, chunks: list[np.ndarray]) -> list[np.ndarray]:
+        # hindex_fixpoint never writes the estimate, so computing chunk
+        # after chunk still reads the frozen round-start vector (Jacobi).
+        return [
+            self.backend.hindex_fixpoint(self.graph, self.estimate, chunk)
+            for chunk in chunks
+        ]
+
+
+class _PoolRunner:
+    """Runs a round's chunks across a persistent process pool."""
+
+    mode = "pool"
+
+    def __init__(self, executor, graph_handle, est_handle, backend_name: str):
+        self.executor = executor
+        self.graph_handle = graph_handle
+        self.est_handle = est_handle
+        self.backend_name = backend_name
+
+    def run(self, chunks: list[np.ndarray]) -> list[np.ndarray]:
+        tasks = [
+            (self.graph_handle, self.est_handle, self.backend_name, chunk)
+            for chunk in chunks
+        ]
+        return list(self.executor.map(_round_worker, tasks))
+
+
+# ----------------------------------------------------------------------
+# The fixpoint loop
+# ----------------------------------------------------------------------
+
+def _expand_frontier(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    estimate: np.ndarray,
+    changed: np.ndarray,
+    new_vals: np.ndarray,
+    cap_entries: int | None,
+) -> tuple[np.ndarray, int]:
+    """Next round's frontier: neighbours undercut by a changed vertex.
+
+    A neighbour ``u`` needs refreshing only if some changed ``v`` dropped
+    *below* ``u``'s estimate — values still ``>= est[u]`` contribute to
+    ``u``'s h-index exactly as before.  The adjacency gather honours the
+    same ``cap_entries`` slice bound as the kernels (the accumulated
+    frontier itself is O(n), which the semi-external model allows).
+    Returns ``(frontier, peak_entries)``.
+    """
+    lens = indptr[changed + 1] - indptr[changed]
+    cum = np.cumsum(lens)
+    total = int(cum[-1]) if changed.size else 0
+    step_cap = total if cap_entries is None else cap_entries
+    frontier = np.empty(0, dtype=np.int64)
+    peak = 0
+    start = 0
+    while start < changed.size:
+        base = int(cum[start - 1]) if start else 0
+        stop = int(np.searchsorted(cum, base + step_cap, side="right"))
+        if stop <= start:
+            stop = start + 1
+        part = changed[start:stop]
+        starts, stops = indptr[part], indptr[part + 1]
+        nbrs = concat_ranges(indices, starts, stops)
+        peak = max(peak, nbrs.nbytes)
+        undercut = estimate[nbrs] > np.repeat(new_vals[start:stop], stops - starts)
+        frontier = np.union1d(frontier, nbrs[undercut])
+        start = stop
+    return frontier, peak // 8
+
+
+def _run_fixpoint(
+    graph: Graph,
+    runner,
+    ranges: list[tuple[int, int]],
+    estimate: np.ndarray,
+    active: np.ndarray,
+    start_round: int,
+    *,
+    cap_entries: int | None = None,
+    on_round_end=None,
+) -> tuple[int, int]:
+    """Iterate synchronous sweeps until the frontier empties.
+
+    ``estimate`` is updated in place (it may be a shared-memory view the
+    pool workers read).  Returns ``(rounds, peak_entries)`` where rounds
+    counts every sweep executed including ``start_round`` resumed ones.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    rounds = start_round
+    peak_entries = 0
+    while active.size:
+        rounds += 1
+        with obs.span("sharded:round", round=rounds, active=int(active.size)) as sp:
+            chunks, peak = _split_chunks(active, ranges, indptr, cap_entries)
+            peak_entries = max(peak_entries, peak)
+            new = np.concatenate(runner.run(chunks))
+            changed_mask = new != estimate[active]
+            changed = active[changed_mask]
+            sp.update(changed=int(changed.size))
+            if changed.size == 0:
+                active = np.empty(0, dtype=np.int64)
+            else:
+                new_vals = new[changed_mask]
+                estimate[active] = new
+                active, peak = _expand_frontier(
+                    indptr, indices, estimate, changed, new_vals, cap_entries
+                )
+                peak_entries = max(peak_entries, peak)
+        if on_round_end is not None:
+            on_round_end(rounds, estimate)
+    return rounds, peak_entries
+
+
+def _pool_allowed(requested: int, num_vertices: int, num_ranges: int) -> bool:
+    if requested <= 1 or num_ranges <= 1:
+        return False
+    if multiprocessing.parent_process() is not None:
+        # Already inside a pool worker (e.g. a parallel prebuild with
+        # REPRO_ENGINE=sharded inherited): never fork nested pools.
+        return False
+    min_pool = MIN_POOL_VERTICES
+    raw = os.environ.get("REPRO_SHARDED_MIN_POOL", "").strip()
+    if raw:
+        try:
+            min_pool = int(raw)
+        except ValueError:
+            pass
+    return num_vertices >= min_pool
+
+
+def _fixpoint_engine(
+    graph: Graph,
+    *,
+    jobs,
+    backend,
+    shards,
+    graph_handle_factory,
+    cap_entries: int | None,
+    estimate: np.ndarray,
+    active: np.ndarray,
+    start_round: int,
+    on_round_end=None,
+) -> tuple[np.ndarray, int, int, str, int]:
+    """Shared driver: pick serial vs pool, run, clean up shared memory.
+
+    ``graph_handle_factory()`` returns ``(handle, closer)`` for the pool
+    path — a :class:`~repro.parallel.shm.SharedGraph` export in RAM mode,
+    a zero-cost mmap handle in semi-external mode.
+
+    Returns ``(coreness, rounds, peak_entries, mode, shard_count)``.
+    """
+    backend_obj = get_backend(backend)
+    requested = resolve_jobs(jobs)
+    n = graph.num_vertices
+    num_shards = int(shards) if shards is not None else max(requested, 1)
+    ranges = shard_ranges(graph.indptr, num_shards)
+    if n == 0:
+        return np.empty(0, dtype=np.int64), start_round, 0, "serial", 0
+
+    if not _pool_allowed(requested, n, len(ranges)):
+        reason = "one_worker" if requested <= 1 else (
+            "one_shard" if len(ranges) <= 1 else (
+                "nested_pool" if multiprocessing.parent_process() is not None
+                else "small_graph"
+            )
+        )
+        obs.add("parallel.sharded", mode="serial", degraded=reason)
+        runner = _SerialRunner(graph, estimate, backend_obj)
+        rounds, peak = _run_fixpoint(
+            graph, runner, ranges, estimate, active, start_round,
+            cap_entries=cap_entries, on_round_end=on_round_end,
+        )
+        return np.array(estimate), rounds, peak, "serial", len(ranges)
+
+    graph_handle, close_graph = graph_handle_factory()
+    shared_est = SharedArray(estimate)
+    try:
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=min(requested, len(ranges)),
+                mp_context=_fork_context(),
+            )
+        except (OSError, PermissionError, ValueError):
+            obs.add("parallel.sharded", mode="serial", degraded="pool_start_failure")
+            runner = _SerialRunner(graph, shared_est.array, backend_obj)
+            rounds, peak = _run_fixpoint(
+                graph, runner, ranges, shared_est.array, active, start_round,
+                cap_entries=cap_entries, on_round_end=on_round_end,
+            )
+            return np.array(shared_est.array), rounds, peak, "serial", len(ranges)
+        try:
+            with executor:
+                runner = _PoolRunner(
+                    executor, graph_handle, shared_est.handle, backend_obj.name
+                )
+                rounds, peak = _run_fixpoint(
+                    graph, runner, ranges, shared_est.array, active, start_round,
+                    cap_entries=cap_entries, on_round_end=on_round_end,
+                )
+            obs.add("parallel.sharded", mode="pool")
+            return np.array(shared_est.array), rounds, peak, "pool", len(ranges)
+        except (OSError, PermissionError):
+            # The pool died mid-run.  Updates are applied only between
+            # rounds, so the estimate/frontier pair is still a consistent
+            # round boundary — continue serially from right here.
+            obs.add("parallel.sharded", mode="serial", degraded="pool_failure")
+            runner = _SerialRunner(graph, shared_est.array, backend_obj)
+            rounds, peak = _run_fixpoint(
+                graph, runner, ranges, shared_est.array, active, start_round,
+                cap_entries=cap_entries, on_round_end=on_round_end,
+            )
+            return np.array(shared_est.array), rounds, peak, "serial", len(ranges)
+    finally:
+        shared_est.close()
+        close_graph()
+
+
+# ----------------------------------------------------------------------
+# In-RAM entry point
+# ----------------------------------------------------------------------
+
+def sharded_core_numbers(
+    graph: Graph,
+    *,
+    jobs: int | None = None,
+    backend=None,
+    shards: int | None = None,
+) -> ShardedResult:
+    """Exact core numbers via the sharded h-index fixpoint.
+
+    ``jobs`` resolves like every other parallel knob (argument →
+    ``REPRO_JOBS`` → serial); ``shards`` defaults to the worker count.
+    The result's ``coreness`` is bit-identical to
+    :func:`repro.core.core_decomposition` peeling for any combination of
+    ``backend``/``jobs``/``shards``.
+    """
+    with obs.span(
+        "sharded:decompose",
+        vertices=graph.num_vertices, edges=graph.num_edges, path="ram",
+    ) as sp:
+        estimate = np.array(graph.degrees(), dtype=np.int64)
+        active = np.arange(graph.num_vertices, dtype=np.int64)
+        coreness, rounds, _, mode, shard_count = _fixpoint_engine(
+            graph,
+            jobs=jobs, backend=backend, shards=shards,
+            graph_handle_factory=lambda: _shared_graph_handle(graph),
+            cap_entries=None,
+            estimate=estimate, active=active, start_round=0,
+        )
+        sp.update(rounds=rounds, mode=mode, shards=shard_count)
+    obs.set_gauge("parallel:round", rounds, engine="sharded")
+    return ShardedResult(
+        coreness=coreness, rounds=rounds, shards=shard_count, mode=mode,
+    )
+
+
+def _shared_graph_handle(graph: Graph):
+    owner = SharedGraph(graph)
+    return owner.handle, owner.close
+
+
+# ----------------------------------------------------------------------
+# Semi-external entry point
+# ----------------------------------------------------------------------
+
+def write_edge_npy(edges, path) -> Path:
+    """Persist an ``(m, 2)`` int64 edge array as the mmap-able ``.npy``
+    input of :func:`semi_external_core_numbers`.
+
+    Edges must be clean (no self loops / duplicates in either
+    orientation), exactly as :meth:`~repro.graph.csr.Graph.from_edges`
+    requires.
+    """
+    arr = np.ascontiguousarray(np.asarray(edges, dtype=np.int64))
+    if arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphFormatError("edges must be an (m, 2) array of vertex pairs")
+    path = Path(path)
+    with open(path, "wb") as fh:
+        np.save(fh, arr)
+    return path
+
+
+def _external_csr_build(
+    edges: np.ndarray,
+    num_vertices: int | None,
+    workdir: Path,
+    chunk_edges: int,
+) -> tuple[Path, Path, int]:
+    """Chunked passes over an mmap'd edge list → on-disk CSR.
+
+    Pass 1 accumulates degrees (O(n) RAM); pass 2 scatters both
+    directions of each chunk into a memmap'd indices file using a moving
+    per-vertex cursor.  Adjacency rows come out unsorted, which the
+    h-index kernel never needs.  Returns ``(indptr_path, indices_path,
+    peak_chunk_bytes)``.
+    """
+    m = len(edges)
+    n = int(num_vertices) if num_vertices is not None else 0
+    peak_chunk = min(chunk_edges, m) * 16  # resident edge-pair chunk bytes
+    if num_vertices is None:
+        for start in range(0, m, chunk_edges):
+            chunk = np.asarray(edges[start:start + chunk_edges])
+            if chunk.size:
+                n = max(n, int(chunk.max()) + 1)
+    degrees = np.zeros(n, dtype=np.int64)
+    for start in range(0, m, chunk_edges):
+        chunk = np.asarray(edges[start:start + chunk_edges])
+        if chunk.size == 0:
+            continue
+        if chunk.min() < 0 or chunk.max() >= n:
+            raise GraphFormatError("edge endpoint out of range")
+        degrees += np.bincount(chunk.ravel(), minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    indptr_path = workdir / "indptr.npy"
+    with open(indptr_path, "wb") as fh:
+        np.save(fh, indptr)
+    indices_path = workdir / "indices.npy"
+    sink = np.lib.format.open_memmap(
+        indices_path, mode="w+", dtype=np.int64, shape=(int(indptr[-1]),)
+    )
+    cursor = indptr[:-1].copy()
+    for start in range(0, m, chunk_edges):
+        chunk = np.asarray(edges[start:start + chunk_edges])
+        if chunk.size == 0:
+            continue
+        for src, dst in ((chunk[:, 0], chunk[:, 1]), (chunk[:, 1], chunk[:, 0])):
+            order = np.argsort(src, kind="stable")
+            s, d = src[order], dst[order]
+            # Rank within each equal-source run: position minus the run's
+            # first index (searchsorted of s into itself).
+            local = np.arange(len(s), dtype=np.int64) - np.searchsorted(s, s)
+            sink[cursor[s] + local] = d
+            uniq, counts = np.unique(s, return_counts=True)
+            cursor[uniq] += counts
+    sink.flush()
+    del sink
+    return indptr_path, indices_path, peak_chunk
+
+
+def semi_external_core_numbers(
+    edges_path,
+    *,
+    num_vertices: int | None = None,
+    jobs: int | None = None,
+    backend=None,
+    shards: int | None = None,
+    workdir=None,
+    shard_store=None,
+    store_key: str | None = None,
+    max_slice_bytes: int | None = None,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+) -> ShardedResult:
+    """Decompose a graph larger than RAM from an mmap'd ``.npy`` edge list.
+
+    The edge file (see :func:`write_edge_npy`) is never loaded whole: the
+    CSR is built on disk in ``chunk_edges``-sized passes, the fixpoint
+    reads it through read-only memory maps, and every kernel invocation
+    gathers at most ``max_slice_bytes`` of adjacency (default: one
+    eighth of the on-disk CSR) — the result's ``peak_slice_bytes``
+    reports the largest slice actually touched.
+
+    ``shard_store`` is any object with ``save_shard_state`` /
+    ``load_shard_state`` / ``clear_shard_state``
+    (:class:`~repro.index.store.ArtifactStore` qualifies); when given,
+    every round checkpoints each shard's estimate slice under
+    ``store_key`` so an interrupted run resumes from the last completed
+    round instead of restarting from degrees.  ``workdir`` keeps the
+    on-disk CSR for reuse; by default a temporary directory is used and
+    removed.
+    """
+    edges_path = Path(edges_path)
+    edges = np.load(edges_path, mmap_mode="r", allow_pickle=False)
+    if edges.ndim != 2 or edges.shape[1] != 2 or edges.dtype != np.int64:
+        raise GraphFormatError(
+            f"{edges_path} must hold an (m, 2) int64 edge array"
+        )
+    own_workdir = workdir is None
+    workdir = Path(tempfile.mkdtemp(prefix="repro-sharded-")) if own_workdir \
+        else Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    try:
+        with obs.span(
+            "sharded:decompose", edges=len(edges), path="semi_external",
+        ) as sp:
+            with obs.span("sharded:external_build", chunk_edges=chunk_edges):
+                indptr_path, indices_path, peak_chunk = _external_csr_build(
+                    edges, num_vertices, workdir, chunk_edges
+                )
+            handle = mmap_graph(indptr_path, indices_path)
+            graph, _ = handle.attach()
+            n = graph.num_vertices
+            csr_bytes = graph.indices.nbytes
+            if max_slice_bytes is None:
+                max_slice_bytes = max(32768, csr_bytes // 8)
+            cap_entries = max(1, int(max_slice_bytes) // 8)
+
+            if store_key is None:
+                store_key = (
+                    f"semiext|{edges_path.resolve()}|m{len(edges)}|n{n}"
+                )
+            requested = resolve_jobs(jobs)
+            num_shards = int(shards) if shards is not None else max(requested, 1)
+            ranges = shard_ranges(graph.indptr, num_shards)
+            key = f"{store_key}|shards{len(ranges)}"
+
+            estimate = np.array(graph.degrees(), dtype=np.int64)
+            active = np.arange(n, dtype=np.int64)
+            start_round = 0
+            if shard_store is not None and ranges:
+                states = [
+                    shard_store.load_shard_state(key, i)
+                    for i in range(len(ranges))
+                ]
+                round_set = {s[1] for s in states if s is not None}
+                if all(s is not None for s in states) and len(round_set) == 1 \
+                        and all(len(s[0]) == hi - lo
+                                for s, (lo, hi) in zip(states, ranges)):
+                    for (lo, hi), (slice_est, _) in zip(ranges, states):
+                        estimate[lo:hi] = slice_est
+                    start_round = round_set.pop()
+                    # The frontier is not checkpointed; one full sweep
+                    # re-derives it (monotone, so correctness is free).
+                    obs.add("parallel.sharded", mode="resume")
+
+            def checkpoint(round_: int, est: np.ndarray) -> None:
+                if shard_store is None:
+                    return
+                for i, (lo, hi) in enumerate(ranges):
+                    shard_store.save_shard_state(key, i, est[lo:hi], round_)
+
+            coreness, rounds, peak_entries, mode, shard_count = _fixpoint_engine(
+                graph,
+                jobs=jobs, backend=backend, shards=shards,
+                graph_handle_factory=lambda: (handle, lambda: None),
+                cap_entries=cap_entries,
+                estimate=estimate, active=active, start_round=start_round,
+                on_round_end=checkpoint,
+            )
+            if shard_store is not None:
+                shard_store.clear_shard_state(key)
+            peak_bytes = max(peak_entries * 8, peak_chunk)
+            sp.update(
+                rounds=rounds, mode=mode, shards=shard_count,
+                peak_slice_bytes=peak_bytes, resumed_round=start_round,
+            )
+        obs.set_gauge("parallel:round", rounds, engine="sharded")
+        return ShardedResult(
+            coreness=coreness, rounds=rounds, shards=shard_count, mode=mode,
+            peak_slice_bytes=peak_bytes, resumed_round=start_round,
+        )
+    finally:
+        del edges
+        if own_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)

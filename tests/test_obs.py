@@ -216,7 +216,13 @@ class TestKernelCounters:
         backend = _CountingBackend()
         register_backend(backend, overwrite=True)
         try:
-            index = BestKIndex(graph, backend="obs-counting", jobs=1, store=False)
+            # Pin the peel engine: the counted-calls truth below includes
+            # exactly one peel_coreness, which the sharded fixpoint engine
+            # (REPRO_ENGINE=sharded leg) would replace with hindex rounds.
+            index = BestKIndex(
+                graph, backend="obs-counting", jobs=1, store=False,
+                engine="peel",
+            )
             index.best_set("average_degree")
             index.best_set("clustering_coefficient")
             for kernel, truth in backend.calls.items():

@@ -66,9 +66,21 @@ class TestResolveJobs:
         monkeypatch.setenv("REPRO_JOBS", "5")
         assert resolve_jobs() == 5
 
-    def test_invalid_env_is_serial(self, monkeypatch):
+    def test_invalid_env_is_serial(self, monkeypatch, caplog):
         monkeypatch.setenv("REPRO_JOBS", "lots")
-        assert resolve_jobs() == 1
+        with caplog.at_level("WARNING", logger="repro.parallel.pool"):
+            assert resolve_jobs() == 1
+        assert "REPRO_JOBS" in caplog.text
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_nonpositive_env_clamps_to_serial(self, monkeypatch, caplog, value):
+        # Unlike an explicit jobs=0 argument (all cores), a non-positive
+        # environment value is treated as a misconfiguration: clamp to
+        # serial and say so, never silently fan out.
+        monkeypatch.setenv("REPRO_JOBS", value)
+        with caplog.at_level("WARNING", logger="repro.parallel.pool"):
+            assert resolve_jobs() == 1
+        assert "REPRO_JOBS" in caplog.text
 
     def test_zero_means_all_cores(self):
         assert resolve_jobs(0) == (os.cpu_count() or 1)

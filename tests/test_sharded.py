@@ -1,0 +1,425 @@
+"""Tests for :mod:`repro.parallel.sharded` — the h-index fixpoint engine.
+
+The load-bearing property is **bit-identity**: the sharded fixpoint must
+answer exactly like Batagelj–Zaversnik peeling for every backend, shard
+count, execution mode (serial / pool / semi-external) and resume path —
+switching engines is a pure performance decision.  The pathological zoo
+(isolated vertices, stars, cliques, disconnected components, kmax=1
+paths) exercises the corner cases where a sloppy h-index operator
+diverges from true coreness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import ENGINES, PAPER_METRICS, core_decomposition, resolve_engine
+from repro.errors import GraphFormatError, UnknownEngineError
+from repro.graph import Graph
+from repro.index import ArtifactStore, BestKIndex
+from repro.kernels import get_backend
+from repro.parallel.sharded import (
+    ShardedResult,
+    semi_external_core_numbers,
+    shard_ranges,
+    sharded_core_numbers,
+    write_edge_npy,
+)
+
+from conftest import random_graph, zoo_params
+
+BACKENDS = ("python", "numpy")
+SHARD_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    obs.reset()
+    obs.enable()
+    yield
+    obs.reset()
+    obs.enable()
+
+
+def peel_coreness(graph: Graph) -> list[int]:
+    # Pin the peel engine: the oracle must stay peeling even when the
+    # suite runs under REPRO_ENGINE=sharded (the CI sharded leg).
+    return core_decomposition(graph, engine="peel").coreness.tolist()
+
+
+# ----------------------------------------------------------------------
+# The h-index kernels themselves
+# ----------------------------------------------------------------------
+
+class TestHindexKernel:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_one_step_from_degrees(self, figure2, backend):
+        b = get_backend(backend)
+        est = np.array(figure2.degrees(), dtype=np.int64)
+        verts = np.arange(figure2.num_vertices, dtype=np.int64)
+        out = b.hindex_fixpoint(figure2, est, verts)
+        # Monotone non-increasing and never below true coreness.
+        assert (out <= est).all()
+        assert (out >= core_decomposition(figure2).coreness).all()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_vertex_set(self, figure2, backend):
+        b = get_backend(backend)
+        est = np.array(figure2.degrees(), dtype=np.int64)
+        out = b.hindex_fixpoint(figure2, est, np.empty(0, dtype=np.int64))
+        assert out.size == 0 and out.dtype == np.int64
+
+    def test_backends_agree_per_round(self, figure2):
+        py, np_ = get_backend("python"), get_backend("numpy")
+        est = np.array(figure2.degrees(), dtype=np.int64)
+        verts = np.arange(figure2.num_vertices, dtype=np.int64)
+        for _ in range(4):
+            a = py.hindex_fixpoint(figure2, est, verts)
+            b = np_.hindex_fixpoint(figure2, est, verts)
+            assert a.tolist() == b.tolist()
+            est = np.array(est)
+            est[verts] = a
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_kernel_never_writes_estimate(self, figure2, backend):
+        b = get_backend(backend)
+        est = np.array(figure2.degrees(), dtype=np.int64)
+        frozen = est.copy()
+        verts = np.arange(figure2.num_vertices, dtype=np.int64)
+        b.hindex_fixpoint(figure2, est, verts)
+        assert est.tolist() == frozen.tolist()
+
+
+# ----------------------------------------------------------------------
+# Bit-identity across the pathological zoo
+# ----------------------------------------------------------------------
+
+class TestBitIdentity:
+    @zoo_params()
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_zoo(self, graph, backend, shards):
+        res = sharded_core_numbers(graph, backend=backend, shards=shards)
+        assert res.coreness.tolist() == peel_coreness(graph)
+        assert res.coreness.dtype == np.int64
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_pathological_fixtures(
+        self, isolated_vertices, star, clique6, two_components, path5,
+        backend, shards,
+    ):
+        for g in (isolated_vertices, star, clique6, two_components, path5):
+            res = sharded_core_numbers(g, backend=backend, shards=shards)
+            assert res.coreness.tolist() == peel_coreness(g)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_random_graphs(self, backend):
+        for seed in (1, 7, 42):
+            g = random_graph(90, 420, seed=seed)
+            res = sharded_core_numbers(g, backend=backend, shards=3)
+            assert res.coreness.tolist() == peel_coreness(g)
+
+    def test_empty_graph(self, empty_graph):
+        res = sharded_core_numbers(empty_graph)
+        assert res.coreness.size == 0
+        assert res.mode == "serial"
+
+    def test_result_metadata(self, figure2):
+        res = sharded_core_numbers(figure2, shards=2)
+        assert isinstance(res, ShardedResult)
+        assert res.rounds >= 1
+        assert res.shards >= 1
+        assert res.mode == "serial"  # small graph: pool threshold not met
+        assert res.peak_slice_bytes is None
+        assert res.resumed_round == 0
+
+
+class TestPoolMode:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_forced_pool_is_bit_identical(self, monkeypatch, backend):
+        monkeypatch.setenv("REPRO_SHARDED_MIN_POOL", "0")
+        g = random_graph(120, 600, seed=5)
+        res = sharded_core_numbers(g, jobs=2, backend=backend, shards=2)
+        assert res.mode == "pool"
+        assert res.coreness.tolist() == peel_coreness(g)
+
+    def test_small_graph_degrades_to_serial(self, monkeypatch, figure2):
+        monkeypatch.delenv("REPRO_SHARDED_MIN_POOL", raising=False)
+        res = sharded_core_numbers(figure2, jobs=2, shards=2)
+        assert res.mode == "serial"
+        assert obs.counter("parallel.sharded", mode="serial",
+                           degraded="small_graph") == 1
+
+    def test_one_worker_stays_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDED_MIN_POOL", "0")
+        g = random_graph(80, 300, seed=3)
+        res = sharded_core_numbers(g, jobs=1, shards=4)
+        assert res.mode == "serial"
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+
+class TestShardRanges:
+    def test_cover_and_disjoint(self):
+        g = random_graph(100, 500, seed=9)
+        for shards in (1, 2, 4, 7):
+            ranges = shard_ranges(g.indptr, shards)
+            assert ranges[0][0] == 0 and ranges[-1][1] == g.num_vertices
+            for (_, a_hi), (b_lo, _) in zip(ranges, ranges[1:]):
+                assert a_hi == b_lo
+            assert len(ranges) <= shards
+
+    def test_edge_balance(self):
+        g = random_graph(200, 2000, seed=13)
+        ranges = shard_ranges(g.indptr, 4)
+        loads = [int(g.indptr[hi] - g.indptr[lo]) for lo, hi in ranges]
+        # Each shard within 2x of the ideal edge share (coarse but real).
+        ideal = 2 * g.num_edges / len(ranges)
+        assert all(load <= 2 * ideal + int(g.degrees().max()) for load in loads)
+
+    def test_empty_graph(self):
+        assert shard_ranges(np.zeros(1, dtype=np.int64), 4) == []
+
+    def test_more_shards_than_vertices(self, triangle):
+        ranges = shard_ranges(triangle.indptr, 100)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 3
+
+
+# ----------------------------------------------------------------------
+# Engine dispatch
+# ----------------------------------------------------------------------
+
+class TestEngineDispatch:
+    def test_engines_registry(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert ENGINES == ("peel", "sharded")
+        assert resolve_engine(None) == "peel"
+        assert resolve_engine("sharded") == "sharded"
+
+    def test_env_selects_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "sharded")
+        assert resolve_engine(None) == "sharded"
+        monkeypatch.setenv("REPRO_ENGINE", "peel")
+        assert resolve_engine(None) == "peel"
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(UnknownEngineError):
+            resolve_engine("bogus")
+        with pytest.raises(UnknownEngineError):
+            core_decomposition(Graph.from_edges([(0, 1)]), engine="bogus")
+
+    @zoo_params()
+    def test_decomposition_engine_equivalence(self, graph):
+        peel = core_decomposition(graph, engine="peel")
+        shard = core_decomposition(graph, engine="sharded")
+        assert shard.coreness.tolist() == peel.coreness.tolist()
+        # The lazy peel order is engine-independent too.
+        assert shard.order.tolist() == peel.order.tolist()
+
+    def test_env_engine_reaches_decomposition(self, monkeypatch, figure2):
+        monkeypatch.setenv("REPRO_ENGINE", "sharded")
+        decomp = core_decomposition(figure2)
+        assert decomp.coreness.tolist() == [3, 3, 3, 3, 2, 2, 2, 2, 3, 3, 3, 3]
+        assert obs.find_spans("sharded:decompose")
+
+    def test_bestk_index_engine_equivalence(self, figure2):
+        base = BestKIndex(figure2)
+        sharded = BestKIndex(figure2, engine="sharded")
+        for metric in PAPER_METRICS:
+            a, b = sharded.best_set(metric), base.best_set(metric)
+            assert (a.k, a.score) == (b.k, b.score)
+            assert a.vertices.tolist() == b.vertices.tolist()
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+
+class TestObservability:
+    def test_round_gauge_emitted(self, figure2):
+        res = sharded_core_numbers(figure2)
+        assert obs.gauges()["parallel:round{engine=sharded}"] == res.rounds
+
+    def test_round_spans(self, figure2):
+        res = sharded_core_numbers(figure2)
+        round_spans = obs.find_spans("sharded:round")
+        assert len(round_spans) == res.rounds
+        for sp in round_spans:
+            assert "changed" in sp.attrs and "active" in sp.attrs
+        (outer,) = obs.find_spans("sharded:decompose")
+        assert outer.attrs["rounds"] == res.rounds
+        assert outer.attrs["path"] == "ram"
+
+    def test_gauge_reaches_summary(self, figure2):
+        sharded_core_numbers(figure2)
+        assert "parallel:round{engine=sharded}" in obs.summary()["gauges"]
+
+
+# ----------------------------------------------------------------------
+# Semi-external path
+# ----------------------------------------------------------------------
+
+def edge_array(graph: Graph) -> np.ndarray:
+    src, dst = [], []
+    for v in range(graph.num_vertices):
+        for u in graph.neighbors(v):
+            if v < u:
+                src.append(v)
+                dst.append(int(u))
+    return np.array(list(zip(src, dst)), dtype=np.int64).reshape(-1, 2)
+
+
+class TestSemiExternal:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_bit_identical(self, tmp_path, backend, shards):
+        g = random_graph(80, 350, seed=17)
+        path = write_edge_npy(edge_array(g), tmp_path / "edges.npy")
+        res = semi_external_core_numbers(
+            path, num_vertices=g.num_vertices, backend=backend, shards=shards,
+            chunk_edges=64,
+        )
+        assert res.coreness.tolist() == peel_coreness(g)
+
+    def test_vertex_count_inferred(self, tmp_path, figure2):
+        path = write_edge_npy(edge_array(figure2), tmp_path / "edges.npy")
+        res = semi_external_core_numbers(path, chunk_edges=8)
+        assert res.coreness.tolist() == peel_coreness(figure2)
+
+    def test_slice_cap_bounds_peak(self, tmp_path):
+        g = random_graph(120, 900, seed=29)
+        path = write_edge_npy(edge_array(g), tmp_path / "edges.npy")
+        csr_bytes = 2 * g.num_edges * 8
+        cap = max(256, csr_bytes // 16)
+        res = semi_external_core_numbers(
+            path, num_vertices=g.num_vertices, shards=2,
+            max_slice_bytes=cap, chunk_edges=32,
+        )
+        assert res.coreness.tolist() == peel_coreness(g)
+        assert res.peak_slice_bytes is not None
+        # The memory bound the out-of-core path exists for: the largest
+        # resident slice stays below the full CSR footprint.
+        assert res.peak_slice_bytes < csr_bytes
+        assert res.peak_slice_bytes <= max(cap, 32 * 16)
+
+    def test_workdir_kept_when_given(self, tmp_path, figure2):
+        path = write_edge_npy(edge_array(figure2), tmp_path / "edges.npy")
+        work = tmp_path / "csr"
+        semi_external_core_numbers(
+            path, num_vertices=figure2.num_vertices, workdir=work,
+        )
+        assert (work / "indptr.npy").exists()
+        assert (work / "indices.npy").exists()
+        indptr = np.load(work / "indptr.npy")
+        assert indptr.tolist() == figure2.indptr.tolist()
+
+    def test_rejects_malformed_file(self, tmp_path):
+        bad = tmp_path / "bad.npy"
+        np.save(bad, np.arange(6, dtype=np.int64))
+        with pytest.raises(GraphFormatError):
+            semi_external_core_numbers(bad)
+
+    def test_rejects_out_of_range_endpoint(self, tmp_path):
+        path = write_edge_npy([(0, 5)], tmp_path / "edges.npy")
+        with pytest.raises(GraphFormatError):
+            semi_external_core_numbers(path, num_vertices=3)
+
+    def test_write_edge_npy_validates_shape(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            write_edge_npy(np.arange(9).reshape(3, 3), tmp_path / "e.npy")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_checkpoint_resume(self, tmp_path, backend):
+        g = random_graph(70, 300, seed=31)
+        path = write_edge_npy(edge_array(g), tmp_path / "edges.npy")
+        store = ArtifactStore(tmp_path / "cache")
+
+        # Cold run only to learn the shard layout and final answer.
+        cold = semi_external_core_numbers(
+            path, num_vertices=g.num_vertices, backend=backend, shards=2,
+            shard_store=store, store_key="resume-test",
+        )
+        assert cold.resumed_round == 0
+        assert cold.coreness.tolist() == peel_coreness(g)
+        # Converged runs clear their checkpoints.
+        key = f"resume-test|shards{cold.shards}"
+        assert store.load_shard_state(key, 0) is None
+
+        # Simulate an interruption after round 1: persist the one-round
+        # estimate per shard, then rerun with the store attached.
+        ranges = shard_ranges(g.indptr, 2)
+        est = np.array(g.degrees(), dtype=np.int64)
+        verts = np.arange(g.num_vertices, dtype=np.int64)
+        est1 = get_backend(backend).hindex_fixpoint(g, est, verts)
+        for i, (lo, hi) in enumerate(ranges):
+            store.save_shard_state(key, i, est1[lo:hi], 1)
+
+        warm = semi_external_core_numbers(
+            path, num_vertices=g.num_vertices, backend=backend, shards=2,
+            shard_store=store, store_key="resume-test",
+        )
+        assert warm.resumed_round == 1
+        assert warm.rounds > 1
+        assert warm.coreness.tolist() == peel_coreness(g)
+        assert obs.counter("parallel.sharded", mode="resume") == 1
+
+    def test_partial_checkpoint_is_ignored(self, tmp_path):
+        g = random_graph(50, 180, seed=37)
+        path = write_edge_npy(edge_array(g), tmp_path / "edges.npy")
+        store = ArtifactStore(tmp_path / "cache")
+        ranges = shard_ranges(g.indptr, 2)
+        key = "partial|shards%d" % len(ranges)
+        # Only shard 0 checkpointed — an inconsistent snapshot.
+        lo, hi = ranges[0]
+        store.save_shard_state(key, 0, np.ones(hi - lo, dtype=np.int64), 3)
+        res = semi_external_core_numbers(
+            path, num_vertices=g.num_vertices, shards=2,
+            shard_store=store, store_key="partial",
+        )
+        assert res.resumed_round == 0
+        assert res.coreness.tolist() == peel_coreness(g)
+
+
+# ----------------------------------------------------------------------
+# Shard-state persistence (ArtifactStore extension)
+# ----------------------------------------------------------------------
+
+class TestShardStateStore:
+    def test_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        est = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+        store.save_shard_state("k1", 0, est, 7)
+        loaded, round_ = store.load_shard_state("k1", 0)
+        assert loaded.tolist() == est.tolist()
+        assert loaded.dtype == np.int64
+        assert round_ == 7
+
+    def test_missing_returns_none(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.load_shard_state("nope", 0) is None
+
+    def test_keys_are_isolated(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save_shard_state("a", 0, np.zeros(3, dtype=np.int64), 1)
+        assert store.load_shard_state("b", 0) is None
+
+    def test_clear(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save_shard_state("k", 0, np.zeros(2, dtype=np.int64), 1)
+        store.clear_shard_state("k")
+        assert store.load_shard_state("k", 0) is None
+
+    def test_corrupt_meta_discards(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save_shard_state("k", 0, np.zeros(4, dtype=np.int64), 2)
+        state_dir = store.shard_state_dir("k")
+        meta = state_dir / "shard0000.meta.json"
+        meta.write_text("{not json")
+        assert store.load_shard_state("k", 0) is None
+        # The whole snapshot is gone, not just the bad shard.
+        assert not state_dir.exists()
