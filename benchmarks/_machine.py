@@ -38,7 +38,20 @@ def machine_metadata(
         "machine": platform.machine(),
         "numpy_version": np.__version__,
         "argv": sys.argv[1:],
+        "native": native_metadata(),
         "execution": execution_metadata(
             jobs=jobs, cache_dir=cache_dir, cache_state=cache_state
         ),
     }
+
+
+def native_metadata() -> dict:
+    """Native-backend runtime facts (JIT provider, numba version, cache).
+
+    Stamped into every report — even numpy/python runs record whether a
+    JIT was *available*, so a regression hunt can tell "native was slower"
+    apart from "native silently fell back to numpy".
+    """
+    from repro.kernels.native_backend import native_runtime_metadata
+
+    return native_runtime_metadata()

@@ -85,6 +85,14 @@ FORBIDDEN_MODULES: dict[str, tuple[str, ...]] = {
     "repro.parallel": ("kernels",),
     "repro.parallel.pool": ("kernels",),
     "repro.parallel.shm": ("kernels",),
+    # The native backend and its JIT providers are self-contained: raw
+    # arrays in, raw arrays out, nothing from repro outside the kernels
+    # package (obs, the stdlib-only leaf, is the one sanctioned import —
+    # the fallback counter must be visible).  Keeps the compiled seam
+    # trivially portable and numba's type inference free of repro types.
+    "repro.kernels.native_backend": ("graph", "errors", "generators", "viz"),
+    "repro.kernels._native_impl": ("graph", "errors", "generators", "viz"),
+    "repro.kernels._native_cc": ("graph", "errors", "generators", "viz"),
 }
 
 

@@ -23,6 +23,7 @@ __all__ = [
     "RunRecord",
     "TimeBudget",
     "execution_metadata",
+    "kernel_dispatch_summary",
     "format_seconds",
 ]
 
@@ -46,7 +47,10 @@ def execution_metadata(
     :func:`repro.obs.summary` of the run so far — span and counter totals
     that say what the benchmark *actually did* (kernel dispatches per
     backend, pool vs serial maps, store hits) rather than what its knobs
-    requested.
+    requested.  The ``kernel_dispatch`` block folds the same counters into
+    explicit per-backend per-kernel counts (plus the native backend's
+    per-reason fallback counts), so every bench row is attributable to the
+    backend whose code *actually ran*, not merely the one selected.
     """
     from .. import obs
     from ..parallel import resolve_jobs, shm_available
@@ -61,8 +65,33 @@ def execution_metadata(
         "shm_available": shm_available(),
         "cache_dir": None if cache_dir is None else str(cache_dir),
         "cache_state": cache_state,
+        "kernel_dispatch": kernel_dispatch_summary(),
         "obs": obs.summary(),
     }
+
+
+def kernel_dispatch_summary() -> dict:
+    """Per-backend per-kernel dispatch counts from the obs counters.
+
+    Returns ``{"dispatch": {backend: {kernel: count}}, "native_fallback":
+    {kernel: {reason: count}}}`` — the attribution record stamped into
+    every ``BENCH_*.json``: which backend's code handled each kernel call,
+    and where (and why) the native backend degraded to numpy.
+    """
+    from .. import obs
+
+    dispatch: dict[str, dict[str, int]] = {}
+    fallback: dict[str, dict[str, int]] = {}
+    for key, value in obs.counters().items():
+        name, labels = obs.parse_counter_key(key)
+        tags = dict(labels)
+        if name == "kernel.dispatch":
+            backend = tags.get("backend", "?")
+            dispatch.setdefault(backend, {})[tags.get("kernel", "?")] = int(value)
+        elif name == "kernel.native_fallback":
+            kernel = tags.get("kernel", "?")
+            fallback.setdefault(kernel, {})[tags.get("reason", "?")] = int(value)
+    return {"dispatch": dispatch, "native_fallback": fallback}
 
 
 class Timer:

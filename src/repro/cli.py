@@ -9,6 +9,8 @@ Installed as the ``bestk`` console script (also ``python -m repro``):
 * ``bestk truss GRAPH -m METRIC``      — best k for the k-truss set
   (alias for ``set --family truss``)
 * ``bestk families``                   — list the hierarchy-family registry
+* ``bestk backends``                   — list kernel backends; for the
+  native backend, the per-kernel JIT/fallback status and numba version
 * ``bestk densest GRAPH``              — Opt-D vs CoreApp
 * ``bestk forest GRAPH``               — ASCII core-forest tree
 * ``bestk profile GRAPH -m METRIC``    — score-vs-k profile with sparkline
@@ -84,7 +86,19 @@ def _load_graph(spec: str) -> Graph:
     return load_edge_list(spec).graph
 
 
+def _backend_arg(p: argparse.ArgumentParser) -> None:
+    from .kernels import available_backends
+
+    p.add_argument(
+        "--backend", default=None, choices=available_backends(),
+        help="kernel backend (bit-identical; default: REPRO_BACKEND or numpy; "
+             "'native' JIT-compiles the hot kernels and degrades per kernel "
+             "to numpy — see 'bestk backends')",
+    )
+
+
 def _index_args(p: argparse.ArgumentParser) -> None:
+    _backend_arg(p)
     p.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes for the index prebuild "
@@ -120,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("decompose", help="coreness statistics")
     graph_arg(p)
+    _backend_arg(p)
     p.add_argument(
         "--engine", default=None, choices=("peel", "sharded"),
         help="core-number engine (bit-identical; default: REPRO_ENGINE or peel)",
@@ -164,6 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
             )
 
     sub.add_parser("families", help="list the hierarchy-family registry")
+
+    sub.add_parser(
+        "backends",
+        help="list kernel backends; for native, per-kernel JIT status",
+    )
 
     p = sub.add_parser("densest", help="densest subgraph: Opt-D vs CoreApp")
     graph_arg(p)
@@ -225,7 +245,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_decompose(args) -> int:
     from .graph import graph_summary
     graph = _load_graph(args.graph)
-    decomp = core_decomposition(graph, engine=args.engine, jobs=args.jobs)
+    decomp = core_decomposition(
+        graph, backend=args.backend, engine=args.engine, jobs=args.jobs
+    )
     print(graph_summary(graph).render())
     print(f"kmax (degeneracy) = {decomp.kmax}")
     for k in range(decomp.kmax + 1):
@@ -251,8 +273,8 @@ def _cmd_bestk(args, which: str) -> int:
         all_metrics=bool(args.all_metrics),
     ):
         index = BestKIndex(
-            graph, jobs=args.jobs, store=args.cache_dir or None,
-            engine=args.engine,
+            graph, backend=args.backend, jobs=args.jobs,
+            store=args.cache_dir or None, engine=args.engine,
         )
         start = time.perf_counter()
         if which == "core":
@@ -320,6 +342,38 @@ def _cmd_families(_args) -> int:
         )
         if fam.description:
             print(f"          {fam.description}")
+    return 0
+
+
+def _cmd_backends(_args) -> int:
+    from .kernels import available_backends, get_backend
+    from .kernels.native_backend import NativeBackend, numba_version
+
+    blurbs = {
+        "python": "scalar reference loops (bit-identical yardstick)",
+        "numpy": "vectorised whole-frontier array passes (default)",
+        "native": "JIT-compiled hot kernels with per-kernel numpy fallback",
+    }
+    for name in available_backends():
+        backend = get_backend(name)
+        print(f"{name:9s} {blurbs.get(name, type(backend).__name__)}")
+        if not isinstance(backend, NativeBackend):
+            continue
+        provider = backend.provider_name()
+        numba = numba_version()
+        print(
+            f"          provider={provider or 'none'} "
+            f"numba={numba or 'not installed'} "
+            f"jit-cache={backend.jit_cache_state() or '-'}"
+        )
+        for kernel, state in sorted(backend.kernel_status().items()):
+            if state["mode"] == "native":
+                detail = "native"
+            elif state["mode"] == "delegated":
+                detail = "numpy (delegated by design)"
+            else:
+                detail = f"numpy (fallback: {state['reason']})"
+            print(f"          {kernel:22s} {detail}")
     return 0
 
 
@@ -398,7 +452,9 @@ def _cmd_cache(args) -> int:
 
     graph = _load_graph(args.graph)
     families = tuple(args.family) if args.family else ("core", "truss")
-    index = BestKIndex(graph, jobs=args.jobs, store=store, engine=args.engine)
+    index = BestKIndex(
+        graph, backend=args.backend, jobs=args.jobs, store=store, engine=args.engine
+    )
     built = index.prebuild(families, problem2=True)
     for name, artifacts in built.items():
         print(f"warmed {name}: {', '.join(artifacts)}")
@@ -449,6 +505,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_bestk(args, args.command)
         if args.command == "families":
             return _cmd_families(args)
+        if args.command == "backends":
+            return _cmd_backends(args)
         if args.command == "densest":
             return _cmd_densest(args)
         if args.command == "forest":

@@ -170,9 +170,11 @@ class BestKIndex:
     ):
         self.graph = graph
         self.backend = backend
-        #: Resolved kernel-backend name; part of every store bundle key so
-        #: artifacts built by different backends never alias on disk.
-        self.backend_name = get_backend(backend).name
+        #: Resolved kernel-backend identity token; part of every store
+        #: bundle key so artifacts built by different backends never alias
+        #: on disk.  For all shipped backends (including ``native``, whose
+        #: per-kernel fallback is bit-identical) this is the backend name.
+        self.backend_name = get_backend(backend).store_token()
         self.jobs = jobs
         #: Core-number engine selector for families with
         #: ``supports_engine`` (``None`` → ``REPRO_ENGINE`` → peel).

@@ -11,6 +11,14 @@ interchangeable implementations of those kernels:
 ``numpy``
     Whole-frontier array passes (repeated pruning, batched binary search,
     vectorised union-find); ~5-30x faster on graphs with 10^5+ edges.
+``native``
+    JIT-compiled scalar loops (numba ``@njit`` when installed, otherwise a
+    C translation built with the system toolchain) for the hot kernels:
+    exact O(m) bucket peeling, the h-index fixpoint round, and the
+    merge-intersection triangle/triplet kernels.  Degrades *per kernel* to
+    the numpy implementation when a JIT is unavailable or fails — see
+    :mod:`repro.kernels.native_backend`; every degradation is counted on
+    the ``kernel.native_fallback`` obs counter.
 
 Selection, in precedence order:
 
@@ -42,11 +50,13 @@ import os
 from .. import obs
 from ..errors import UnknownBackendError
 from .base import KernelBackend
+from .native_backend import NativeBackend
 from .numpy_backend import NumpyBackend
 from .python_backend import PythonBackend
 
 __all__ = [
     "KernelBackend",
+    "NativeBackend",
     "NumpyBackend",
     "PythonBackend",
     "available_backends",
@@ -145,3 +155,7 @@ def get_backend(backend: str | KernelBackend | None = None) -> KernelBackend:
 
 register_backend(PythonBackend())
 register_backend(NumpyBackend())
+# Always registered: construction is free (no JIT work happens until a
+# kernel is dispatched) and an unusable toolchain degrades per kernel to
+# the numpy implementations, never to an import error.
+register_backend(NativeBackend())

@@ -1,0 +1,412 @@
+"""C fallback provider for the native backend: gcc/clang + ctypes.
+
+The preferred native provider is numba (see
+:mod:`repro.kernels.native_backend`), but numba is an optional dependency;
+machines with a plain C toolchain still deserve native-speed kernels.  This
+module carries a single C translation unit mirroring the raw kernels of
+:mod:`repro.kernels._native_impl` statement for statement, compiles it once
+with the system compiler (``$CC``, ``cc`` or ``gcc``) into a shared
+library, and binds the symbols through :mod:`ctypes`.
+
+JIT-cache behaviour mirrors numba's ``cache=True``: the compiled library is
+keyed by a SHA-256 of the C source and stored under
+``$REPRO_NATIVE_CACHE`` (default ``~/.cache/repro-native``), so the compile
+cost is paid once per source revision per machine, not once per process.
+A failed compile raises :class:`NativeCompileError`; the backend catches it
+and degrades that machine to the numpy implementations.
+
+Everything here is arrays-in/arrays-out — no Graph objects, no imports
+from the rest of ``repro`` (the layering contract pins this module inside
+``repro.kernels``).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "NativeCompileError",
+    "CcProvider",
+    "compiler_path",
+    "load_provider",
+]
+
+#: Overrides the on-disk location of compiled kernel libraries.
+CACHE_ENV_VAR = "REPRO_NATIVE_CACHE"
+
+
+class NativeCompileError(RuntimeError):
+    """The C toolchain is missing or the kernel library failed to build."""
+
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* Exact Batagelj-Zaversnik bucket peel.  deg is destroyed; coreness and
+ * vert (the peel order) are outputs; pos / bin_start / cursor are scratch
+ * (n, max_deg + 2, max_deg + 2). */
+void repro_peel_exact(int64_t n, const int64_t *indptr, const int64_t *indices,
+                      int64_t *deg, int64_t max_deg,
+                      int64_t *coreness, int64_t *vert,
+                      int64_t *pos, int64_t *bin_start, int64_t *cursor) {
+    for (int64_t d = 0; d <= max_deg + 1; d++) bin_start[d] = 0;
+    for (int64_t v = 0; v < n; v++) bin_start[deg[v] + 1] += 1;
+    for (int64_t d = 1; d <= max_deg + 1; d++) bin_start[d] += bin_start[d - 1];
+    for (int64_t d = 0; d <= max_deg + 1; d++) cursor[d] = bin_start[d];
+    for (int64_t v = 0; v < n; v++) {
+        int64_t d = deg[v];
+        int64_t p = cursor[d];
+        vert[p] = v;
+        pos[v] = p;
+        cursor[d] = p + 1;
+    }
+    for (int64_t i = 0; i < n; i++) {
+        int64_t v = vert[i];
+        int64_t dv = deg[v];
+        coreness[v] = dv;
+        for (int64_t j = indptr[v]; j < indptr[v + 1]; j++) {
+            int64_t u = indices[j];
+            int64_t du = deg[u];
+            if (du > dv) {
+                int64_t first = bin_start[du];
+                int64_t w = vert[first];
+                if (u != w) {
+                    int64_t pu = pos[u];
+                    vert[first] = u;
+                    vert[pu] = w;
+                    pos[u] = first;
+                    pos[w] = pu;
+                }
+                bin_start[du] = first + 1;
+                deg[u] = du - 1;
+            }
+        }
+    }
+}
+
+/* One Jacobi round of the h-index fixpoint over the vertices slice.
+ * counts is zeroed scratch of size max_deg + 1 (and is left zeroed). */
+void repro_hindex_fixpoint(int64_t nv, const int64_t *vertices,
+                           const int64_t *indptr, const int64_t *indices,
+                           const int64_t *estimate, int64_t *out,
+                           int64_t *counts) {
+    for (int64_t i = 0; i < nv; i++) {
+        int64_t v = vertices[i];
+        int64_t a = indptr[v];
+        int64_t b = indptr[v + 1];
+        int64_t d = b - a;
+        for (int64_t j = a; j < b; j++) {
+            int64_t val = estimate[indices[j]];
+            if (val < 0) val = 0;
+            if (val > d) val = d;
+            counts[val] += 1;
+        }
+        int64_t h = 0, acc = 0;
+        for (int64_t x = d; x > 0; x--) {
+            acc += counts[x];
+            if (acc >= x) { h = x; break; }
+        }
+        for (int64_t j = a; j < b; j++) {
+            int64_t val = estimate[indices[j]];
+            if (val < 0) val = 0;
+            if (val > d) val = d;
+            counts[val] = 0;
+        }
+        int64_t ev = estimate[v];
+        out[i] = h < ev ? h : ev;
+    }
+}
+
+/* Per-edge triangle supports by sorted-merge intersection. */
+void repro_edge_supports(int64_t m, const int64_t *eu, const int64_t *ev,
+                         const int64_t *indptr, const int64_t *indices,
+                         int64_t *support) {
+    for (int64_t i = 0; i < m; i++) {
+        int64_t u = eu[i], v = ev[i];
+        int64_t p = indptr[u], b = indptr[u + 1];
+        int64_t q = indptr[v], d = indptr[v + 1];
+        int64_t count = 0;
+        while (p < b && q < d) {
+            int64_t x = indices[p], y = indices[q];
+            if (x < y) p++;
+            else if (y < x) q++;
+            else { count++; p++; q++; }
+        }
+        support[i] = count;
+    }
+}
+
+/* Algorithm 3 triangle charges: merge-intersect higher-rank suffixes. */
+void repro_triangle_charges(int64_t n, const int64_t *indptr,
+                            const int64_t *indices, const int64_t *nbr_rank,
+                            const int64_t *high, int64_t *charges) {
+    for (int64_t v = 0; v < n; v++) {
+        int64_t a = indptr[v] + high[v];
+        int64_t b = indptr[v + 1];
+        int64_t total = 0;
+        for (int64_t j = a; j < b; j++) {
+            int64_t u = indices[j];
+            int64_t c = indptr[u] + high[u];
+            int64_t d = indptr[u + 1];
+            int64_t p = a, q = c;
+            while (p < b && q < d) {
+                int64_t x = nbr_rank[p], y = nbr_rank[q];
+                if (x < y) p++;
+                else if (y < x) q++;
+                else { total++; p++; q++; }
+            }
+        }
+        charges[v] = total;
+    }
+}
+
+/* Incremental triplet counts per vertex group (Algorithm 3, grouped).
+ * f_ge, stamp, frontier, before are length-n scratch; stamp must arrive
+ * filled with -1 and f_ge with 0. */
+void repro_triplet_group_deltas(int64_t n, int64_t ngroups,
+                                const int64_t *indptr, const int64_t *indices,
+                                const int64_t *same, const int64_t *plus,
+                                const int64_t *flat, const int64_t *gptr,
+                                int64_t *f_ge, int64_t *stamp,
+                                int64_t *frontier, int64_t *before,
+                                int64_t *deltas) {
+    (void)n;
+    for (int64_t g = 0; g < ngroups; g++) {
+        int64_t delta = 0;
+        int64_t fcount = 0;
+        for (int64_t idx = gptr[g]; idx < gptr[g + 1]; idx++) {
+            int64_t v = flat[idx];
+            int64_t a = indptr[v];
+            int64_t b = indptr[v + 1];
+            int64_t ge = (b - a) - same[v];
+            delta += ge * (ge - 1) / 2;
+            for (int64_t j = a + plus[v]; j < b; j++) {
+                int64_t w = indices[j];
+                if (stamp[w] != g) {
+                    stamp[w] = g;
+                    frontier[fcount] = w;
+                    before[fcount] = f_ge[w];
+                    fcount++;
+                }
+            }
+        }
+        for (int64_t idx = gptr[g]; idx < gptr[g + 1]; idx++) {
+            int64_t v = flat[idx];
+            for (int64_t j = indptr[v]; j < indptr[v + 1]; j++)
+                f_ge[indices[j]] += 1;
+        }
+        for (int64_t t = 0; t < fcount; t++) {
+            int64_t w = frontier[t];
+            int64_t gt = before[t];
+            int64_t eq = f_ge[w] - gt;
+            delta += eq * (eq - 1) / 2 + gt * eq;
+        }
+        deltas[g] = delta;
+    }
+}
+
+/* Sequential per-slice accumulation (reduceat addition order). */
+void repro_vertex_strengths(int64_t n, const int64_t *indptr,
+                            const double *arc_weights, double *strength) {
+    for (int64_t v = 0; v < n; v++) {
+        double s = 0.0;
+        for (int64_t j = indptr[v]; j < indptr[v + 1]; j++)
+            s += arc_weights[j];
+        strength[v] = s;
+    }
+}
+"""
+
+_I64 = ctypes.POINTER(ctypes.c_int64)
+_F64 = ctypes.POINTER(ctypes.c_double)
+
+#: symbol -> argtypes; ``None`` entries are filled per call site.
+_SIGNATURES = {
+    "repro_peel_exact": (ctypes.c_int64, _I64, _I64, _I64, ctypes.c_int64,
+                         _I64, _I64, _I64, _I64, _I64),
+    "repro_hindex_fixpoint": (ctypes.c_int64, _I64, _I64, _I64, _I64, _I64, _I64),
+    "repro_edge_supports": (ctypes.c_int64, _I64, _I64, _I64, _I64, _I64),
+    "repro_triangle_charges": (ctypes.c_int64, _I64, _I64, _I64, _I64, _I64),
+    "repro_triplet_group_deltas": (ctypes.c_int64, ctypes.c_int64, _I64, _I64,
+                                   _I64, _I64, _I64, _I64, _I64, _I64, _I64,
+                                   _I64, _I64),
+    "repro_vertex_strengths": (ctypes.c_int64, _I64, _F64, _F64),
+}
+
+
+def compiler_path() -> str | None:
+    """Path of the C compiler to use, or ``None`` when the box has none."""
+    cc = os.environ.get("CC", "").strip()
+    candidates = ([cc] if cc else []) + ["cc", "gcc", "clang"]
+    for name in candidates:
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+def source_digest() -> str:
+    return hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+
+
+def cache_dir() -> Path:
+    override = os.environ.get(CACHE_ENV_VAR, "").strip()
+    if override:
+        return Path(override)
+    return Path(os.path.expanduser("~")) / ".cache" / "repro-native"
+
+
+def _ptr(arr: np.ndarray, ctype):
+    return arr.ctypes.data_as(ctype)
+
+
+def _i64(arr) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+class CcProvider:
+    """Raw-kernel provider backed by a JIT-compiled C shared library."""
+
+    def __init__(self) -> None:
+        self.cache_state = "cold"
+        self._lib = self._build_or_load()
+        for symbol, argtypes in _SIGNATURES.items():
+            fn = getattr(self._lib, symbol)
+            fn.argtypes = argtypes
+            fn.restype = None
+        cc = compiler_path()
+        self.name = f"cc-{Path(cc).name}" if cc else "cc"
+
+    # -- build ----------------------------------------------------------
+    def _build_or_load(self) -> ctypes.CDLL:
+        cc = compiler_path()
+        root = cache_dir()
+        lib_path = root / f"kernels-{source_digest()}.so"
+        if lib_path.exists():
+            self.cache_state = "warm"
+            try:
+                return ctypes.CDLL(str(lib_path))
+            except OSError:
+                # A stale/foreign-arch library: rebuild below.
+                self.cache_state = "cold"
+        if cc is None:
+            raise NativeCompileError("no C compiler found (checked $CC, cc, gcc, clang)")
+        try:
+            root.mkdir(parents=True, exist_ok=True)
+            workdir = root
+        except OSError:
+            workdir = Path(tempfile.mkdtemp(prefix="repro-native-"))
+            lib_path = workdir / lib_path.name
+        src_path = workdir / f"kernels-{source_digest()}.c"
+        src_path.write_text(_SOURCE, encoding="utf-8")
+        tmp_lib = workdir / f".{lib_path.name}.{os.getpid()}.tmp"
+        cmd = [cc, "-O3", "-shared", "-fPIC", "-o", str(tmp_lib), str(src_path)]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            tmp_lib.unlink(missing_ok=True)
+            raise NativeCompileError(
+                f"C kernel compile failed ({' '.join(cmd)}): {proc.stderr.strip()[:500]}"
+            )
+        os.replace(tmp_lib, lib_path)  # atomic: concurrent builders converge
+        return ctypes.CDLL(str(lib_path))
+
+    # -- raw kernels (same signatures as _native_impl) ------------------
+    def peel_exact(self, indptr, indices, deg):
+        n = indptr.shape[0] - 1
+        coreness = np.zeros(n, dtype=np.int64)
+        vert = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return coreness, vert
+        max_deg = int(deg.max())
+        pos = np.empty(n, dtype=np.int64)
+        bin_start = np.empty(max_deg + 2, dtype=np.int64)
+        cursor = np.empty(max_deg + 2, dtype=np.int64)
+        self._lib.repro_peel_exact(
+            n, _ptr(indptr, _I64), _ptr(indices, _I64), _ptr(deg, _I64),
+            max_deg, _ptr(coreness, _I64), _ptr(vert, _I64),
+            _ptr(pos, _I64), _ptr(bin_start, _I64), _ptr(cursor, _I64),
+        )
+        return coreness, vert
+
+    def hindex_fixpoint(self, indptr, indices, estimate, vertices):
+        nv = vertices.shape[0]
+        out = np.zeros(nv, dtype=np.int64)
+        if nv == 0:
+            return out
+        degs = indptr[vertices + 1] - indptr[vertices]
+        max_deg = int(degs.max()) if nv else 0
+        counts = np.zeros(max_deg + 1, dtype=np.int64)
+        self._lib.repro_hindex_fixpoint(
+            nv, _ptr(vertices, _I64), _ptr(indptr, _I64), _ptr(indices, _I64),
+            _ptr(estimate, _I64), _ptr(out, _I64), _ptr(counts, _I64),
+        )
+        return out
+
+    def edge_supports(self, indptr, indices, eu, ev):
+        m = eu.shape[0]
+        support = np.zeros(m, dtype=np.int64)
+        if m == 0:
+            return support
+        self._lib.repro_edge_supports(
+            m, _ptr(eu, _I64), _ptr(ev, _I64), _ptr(indptr, _I64),
+            _ptr(indices, _I64), _ptr(support, _I64),
+        )
+        return support
+
+    def triangle_charges(self, indptr, indices, nbr_rank, high):
+        n = indptr.shape[0] - 1
+        charges = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return charges
+        self._lib.repro_triangle_charges(
+            n, _ptr(indptr, _I64), _ptr(indices, _I64), _ptr(nbr_rank, _I64),
+            _ptr(high, _I64), _ptr(charges, _I64),
+        )
+        return charges
+
+    def triplet_group_deltas(self, indptr, indices, same, plus, flat, gptr):
+        n = indptr.shape[0] - 1
+        ngroups = gptr.shape[0] - 1
+        deltas = np.zeros(ngroups, dtype=np.int64)
+        if ngroups == 0 or n == 0:
+            return deltas
+        f_ge = np.zeros(n, dtype=np.int64)
+        stamp = np.full(n, -1, dtype=np.int64)
+        frontier = np.empty(n, dtype=np.int64)
+        before = np.empty(n, dtype=np.int64)
+        self._lib.repro_triplet_group_deltas(
+            n, ngroups, _ptr(indptr, _I64), _ptr(indices, _I64),
+            _ptr(same, _I64), _ptr(plus, _I64), _ptr(flat, _I64),
+            _ptr(gptr, _I64), _ptr(f_ge, _I64), _ptr(stamp, _I64),
+            _ptr(frontier, _I64), _ptr(before, _I64), _ptr(deltas, _I64),
+        )
+        return deltas
+
+    def vertex_strengths(self, indptr, arc_weights):
+        n = indptr.shape[0] - 1
+        strength = np.zeros(n, dtype=np.float64)
+        if n == 0:
+            return strength
+        self._lib.repro_vertex_strengths(
+            n, _ptr(indptr, _I64), _ptr(arc_weights, _F64), _ptr(strength, _F64),
+        )
+        return strength
+
+
+def load_provider() -> CcProvider:
+    """Build (or load from the JIT cache) the C kernel library.
+
+    Raises :class:`NativeCompileError` when no toolchain is available or
+    the build fails; the native backend maps that to per-kernel numpy
+    fallback with the ``compile`` reason.
+    """
+    return CcProvider()

@@ -30,6 +30,20 @@ class KernelBackend:
     #: Registry key (``REPRO_BACKEND`` value) identifying the backend.
     name: str = "abstract"
 
+    def store_token(self) -> str:
+        """Identity token for on-disk artifacts built through this backend.
+
+        :class:`repro.index.store.ArtifactStore` keys every bundle by this
+        token so artifacts from different backends never alias.  The
+        default — the backend name — is correct for any backend honouring
+        the bit-identity contract; a backend whose results could legally
+        differ (e.g. an approximate GPU kernel) must override this to
+        fragment the cache further.  The ``native`` backend keeps the
+        plain name even when individual kernels fall back to numpy,
+        because fallback is bit-identical by construction.
+        """
+        return self.name
+
     # ------------------------------------------------------------------
     # Core peeling
     # ------------------------------------------------------------------

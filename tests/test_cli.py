@@ -64,6 +64,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "FriendSter" in out and "DBLP" in out
 
+    def test_backends_lists_all_three(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("python", "numpy", "native"):
+            assert name in out
+        # Per-kernel status for the native backend, whatever mode each
+        # kernel resolved to on this machine.
+        assert "peel_coreness" in out
+        assert "delegated" in out
+
+    def test_decompose_backend_flag(self, graph_file, capsys):
+        assert main(["decompose", graph_file, "--backend", "native"]) == 0
+        assert "kmax (degeneracy) = 3" in capsys.readouterr().out
+
+    def test_unknown_backend_flag_is_rejected(self, graph_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["decompose", graph_file, "--backend", "cuda"])
+
     def test_dataset_spec_loading(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_SCALE", "0.2")
         assert main(["decompose", "dataset:G"]) == 0

@@ -32,6 +32,7 @@ from conftest import random_graph
 
 PY = get_backend("python")
 NP = get_backend("numpy")
+NATIVE = get_backend("native")
 
 
 def clique_chain(num_cliques: int, size: int) -> Graph:
@@ -70,8 +71,8 @@ zoo_case = pytest.mark.parametrize(
 
 
 class TestRegistry:
-    def test_both_backends_registered(self):
-        assert set(available_backends()) >= {"python", "numpy"}
+    def test_all_backends_registered(self):
+        assert set(available_backends()) >= {"python", "numpy", "native"}
 
     def test_default_is_numpy(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
@@ -212,6 +213,74 @@ class TestChargeKernelEquivalence:
         assert np.array_equal(
             PY.triplet_group_deltas(ordered, groups),
             NP.triplet_group_deltas(ordered, groups),
+        )
+
+
+class TestNativeEquivalence:
+    """The native backend against the reference, over the whole zoo.
+
+    Holds regardless of whether each kernel runs JIT-compiled or fell
+    back to numpy — fallback is bit-identical by construction, and these
+    tests are what enforce that claim.
+    """
+
+    @zoo_case
+    def test_peel_identical(self, graph):
+        coreness, order = PY.peel_exact(graph)
+        c2, p2 = NATIVE.peel_exact(graph)
+        assert np.array_equal(coreness, c2)
+        assert np.array_equal(order, p2)
+        assert np.array_equal(NATIVE.peel_coreness(graph), coreness)
+
+    @zoo_case
+    def test_hindex_round_identical(self, graph):
+        estimate = graph.degrees().astype(np.int64)
+        vertices = np.arange(graph.num_vertices, dtype=np.int64)
+        want = PY.hindex_fixpoint(graph, estimate, vertices)
+        assert np.array_equal(NP.hindex_fixpoint(graph, estimate, vertices), want)
+        assert np.array_equal(NATIVE.hindex_fixpoint(graph, estimate, vertices), want)
+
+    @zoo_case
+    def test_edge_supports_identical(self, graph):
+        edges = graph.edge_array()
+        assert np.array_equal(
+            NATIVE.edge_supports(graph, edges), PY.edge_supports(graph, edges)
+        )
+
+    @zoo_case
+    def test_triangle_charges_identical(self, graph):
+        ordered = order_vertices(graph)
+        assert np.array_equal(
+            NATIVE.triangle_charges(ordered), PY.triangle_charges(ordered)
+        )
+
+    @zoo_case
+    def test_triplet_group_deltas_identical(self, graph):
+        ordered = order_vertices(graph)
+        shells = _descending_shells(ordered)
+        assert np.array_equal(
+            NATIVE.triplet_group_deltas(ordered, shells),
+            PY.triplet_group_deltas(ordered, shells),
+        )
+
+    @zoo_case
+    def test_vertex_strengths_match(self, graph):
+        m = graph.num_edges
+        arcs = np.empty(0, dtype=np.float64)
+        if m:
+            weights = np.random.default_rng(m).random(m)
+            arcs = arc_weights(graph, weights)
+        np.testing.assert_allclose(
+            NATIVE.vertex_strengths(graph, arcs),
+            PY.vertex_strengths(graph, arcs),
+            atol=1e-12,
+        )
+
+    @zoo_case
+    def test_delegated_triangles_identical(self, graph):
+        assert NATIVE.count_triangles(graph) == PY.count_triangles(graph)
+        assert np.array_equal(
+            NATIVE.triangles_per_vertex(graph), PY.triangles_per_vertex(graph)
         )
 
 
