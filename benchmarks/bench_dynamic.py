@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""Benchmark incremental core maintenance against full rebuilds.
+
+Streams random insert/delete deltas of increasing size through
+:class:`repro.dynamic.VersionedGraph` on the 100k–500k-edge generator
+graphs and times, per delta:
+
+* ``apply_seconds`` — the localized CSR rebuild producing the next
+  epoch's snapshot;
+* ``incremental_seconds`` — :func:`repro.dynamic.incremental_core_numbers`
+  repairing the previous epoch's coreness across the delta;
+* ``full_seconds`` — a from-scratch ``peel_coreness`` on the new
+  snapshot (what a non-incremental index would pay).
+
+Every repaired coreness is asserted bit-identical to the full peel
+before its timing is trusted.  The ``dynamic.maintain`` path counts
+(incremental vs rebuild, by reason) are stamped into the report through
+:func:`repro.bench.harness.execution_metadata`'s obs summary plus an
+explicit ``maintain_paths`` block.
+
+The acceptance gate (enforced in full mode, skipped under ``--quick``):
+on the largest dataset, single-edge deltas must maintain at least
+``GATE_SPEEDUP``x faster than the full rebuild, or the script exits
+non-zero.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic.py            # full suite
+    PYTHONPATH=src python benchmarks/bench_dynamic.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_dynamic.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from _machine import machine_metadata
+from repro import obs
+from repro.dynamic import GraphDelta, VersionedGraph, incremental_core_numbers
+from repro.generators.random_graphs import powerlaw_chung_lu
+from repro.kernels import get_backend
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_dynamic.json"
+
+#: name -> zero-argument factory; ordered by ascending size.  The last
+#: entry is the ~500k-edge graph the acceptance gate is measured on.
+SUITE = {
+    "cl-100k": lambda: powerlaw_chung_lu(20_000, 10.0, 2.3, seed=7),
+    "cl-500k": lambda: powerlaw_chung_lu(100_000, 10.0, 2.3, seed=7),
+}
+QUICK_SUITE = ("cl-100k",)
+
+DELTA_SIZES = (1, 10, 100, 1000)
+QUICK_DELTA_SIZES = (1, 10)
+
+#: Gate: median single-edge speedup (full peel / incremental maintain)
+#: required on the largest dataset.
+GATE_SPEEDUP = 5.0
+
+
+def random_delta(rng: np.random.Generator, graph, size: int) -> GraphDelta:
+    """A half-insert / half-delete delta valid against ``graph``."""
+    edges = graph.edge_array()
+    num_delete = min(size // 2, len(edges))
+    num_insert = size - num_delete
+    delete = edges[rng.choice(len(edges), size=num_delete, replace=False)]
+    n = graph.num_vertices
+    insert = []
+    while len(insert) < num_insert:
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u != v and not graph.has_edge(u, v):
+            insert.append((min(u, v), max(u, v)))
+    # Within-side duplicates collapse in from_edges; re-draw until the
+    # requested size survives canonicalisation.
+    delta = GraphDelta.from_edges(insert, delete)
+    return delta
+
+
+def bench_dataset(name: str, graph, sizes: tuple[int, ...], repeats: int) -> list[dict]:
+    backend = get_backend()
+    rng = np.random.default_rng(42)
+    rows: list[dict] = []
+    vg = VersionedGraph(graph)
+    core = backend.peel_coreness(graph)
+    print(f"[{name}] n={graph.num_vertices} m={graph.num_edges}", flush=True)
+    for size in sizes:
+        for _ in range(repeats):
+            delta = random_delta(rng, vg.graph, size)
+
+            start = time.perf_counter()
+            nxt = vg.apply(delta)
+            apply_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            result = incremental_core_numbers(
+                vg.graph, core, nxt.applied, new_graph=nxt.graph
+            )
+            incremental_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            full = backend.peel_coreness(nxt.graph)
+            full_seconds = time.perf_counter() - start
+
+            if not np.array_equal(result.coreness, full):
+                raise AssertionError(
+                    f"maintained coreness diverged on {name} size={size}"
+                )
+            rows.append(
+                {
+                    "dataset": name,
+                    "delta_size": delta.num_changes,
+                    "epoch": nxt.epoch,
+                    "n": nxt.graph.num_vertices,
+                    "m": nxt.graph.num_edges,
+                    "apply_seconds": apply_seconds,
+                    "incremental_seconds": incremental_seconds,
+                    "full_seconds": full_seconds,
+                    "path": result.path,
+                    "reason": result.reason,
+                    "changed": int(len(result.changed)),
+                }
+            )
+            print(
+                f"  size={size:5d} epoch={nxt.epoch:3d} "
+                f"apply={apply_seconds * 1e3:8.2f}ms "
+                f"maintain={incremental_seconds * 1e3:8.2f}ms "
+                f"full={full_seconds * 1e3:8.2f}ms "
+                f"({result.path}/{result.reason}, {len(result.changed)} changed)",
+                flush=True,
+            )
+            vg, core = nxt, result.coreness
+    return rows
+
+
+def summarise(rows: list[dict]) -> dict:
+    """Median speedup (full / incremental) per (dataset, delta size)."""
+    cells: dict[tuple[str, int], list[float]] = {}
+    for row in rows:
+        if row["incremental_seconds"] > 0:
+            key = (row["dataset"], row["delta_size"])
+            cells.setdefault(key, []).append(
+                row["full_seconds"] / row["incremental_seconds"]
+            )
+    return {
+        f"{dataset}/size-{size}": round(float(np.median(ratios)), 2)
+        for (dataset, size), ratios in sorted(cells.items())
+    }
+
+
+def maintain_path_counts() -> dict:
+    """Explicit ``dynamic.maintain`` counter breakdown for the report."""
+    paths: dict[str, float] = {}
+    for key, value in obs.counters().items():
+        name, labels = obs.parse_counter_key(key)
+        if name == "dynamic.maintain":
+            tags = dict(labels)
+            paths[f"{tags.get('path', '?')}/{tags.get('reason', '?')}"] = value
+    return paths
+
+
+def check_gate(report: dict, largest: str) -> bool:
+    """The bench gate: incremental >= 5x full rebuild on single-edge deltas."""
+    ratio = report["speedups"].get(f"{largest}/size-1")
+    if ratio is None:
+        print(f"GATE FAILED: no single-edge measurement for {largest}")
+        return False
+    print(f"gate: single-edge maintain-vs-rebuild on {largest}: {ratio:.1f}x")
+    if ratio < GATE_SPEEDUP:
+        print(
+            f"GATE FAILED: incremental < {GATE_SPEEDUP}x full rebuild "
+            f"for single-edge deltas on {largest}"
+        )
+        return False
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smallest dataset, small deltas, fewer repeats, no gate (CI smoke)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="deltas timed per (dataset, size)"
+    )
+    parser.add_argument(
+        "-o", "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT.name} at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    # Counters feed both the maintain_paths block and execution_metadata.
+    obs.enable()
+    from repro.bench.harness import execution_metadata
+
+    names = QUICK_SUITE if args.quick else tuple(SUITE)
+    sizes = QUICK_DELTA_SIZES if args.quick else DELTA_SIZES
+    repeats = 2 if args.quick else args.repeats
+
+    rows: list[dict] = []
+    for name in names:
+        rows.extend(bench_dataset(name, SUITE[name](), sizes, repeats))
+
+    report = {
+        "rows": rows,
+        "speedups": summarise(rows),
+        "maintain_paths": maintain_path_counts(),
+        "output": {"quick": args.quick, "repeats": repeats, "delta_sizes": list(sizes)},
+        "execution": execution_metadata(jobs=1, cache_dir=None),
+        "metadata": machine_metadata(get_backend().name),
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    if args.quick:
+        return 0
+    return 0 if check_gate(report, names[-1]) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

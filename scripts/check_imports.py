@@ -23,6 +23,12 @@ Layering (DESIGN.md, engine section):
   ``repro.core`` dispatching to the sharded engine — crosses lazily via
   ``importlib`` inside a function body, the same sanctioned idiom as the
   engine -> family bootstrap.
+* ``repro.dynamic`` — the mutability seam, a sibling of ``parallel``:
+  may use ``graph``/``errors``/``kernels``/``obs`` (the rebuild fallback
+  dispatches through the kernel registry, never through a family), must
+  not import the engine, a family package, ``parallel`` or ``index``.
+  Conversely no family ever imports it — incremental maintenance is
+  consumed from above, by ``repro.index.BestKIndex.apply``.
 * ``repro.obs`` — the observability leaf: stdlib only, must not import
   *anything* from ``repro``.  Conversely the family packages, ``graph``
   and ``errors`` must never import it — algorithm code stays free of
@@ -56,24 +62,26 @@ FAMILY_PACKAGES = ("core", "truss", "weighted", "ecc")
 #: every repro subpackage with layering significance; ``obs`` may import
 #: none of them (it is a stdlib-only leaf).
 ALL_LAYERS = (
-    "graph", "errors", "kernels", "engine", "parallel", "index",
+    "graph", "errors", "kernels", "engine", "parallel", "dynamic", "index",
     "apps", "bench", "cli", "generators", "viz",
 ) + FAMILY_PACKAGES
 
 #: subpackage -> the repro subpackages it must never import.
 FORBIDDEN: dict[str, tuple[str, ...]] = {
     "obs": ALL_LAYERS,
-    "graph": ("engine", "parallel", "index", "apps", "bench", "cli", "obs")
+    "graph": ("engine", "parallel", "dynamic", "index", "apps", "bench", "cli", "obs")
     + FAMILY_PACKAGES,
-    "errors": ("engine", "parallel", "index", "apps", "bench", "cli", "obs")
+    "errors": ("engine", "parallel", "dynamic", "index", "apps", "bench", "cli", "obs")
     + FAMILY_PACKAGES,
-    "kernels": ("engine", "parallel", "index", "apps", "bench", "cli") + FAMILY_PACKAGES,
-    "engine": FAMILY_PACKAGES + ("parallel", "index", "apps", "bench", "cli"),
-    "parallel": FAMILY_PACKAGES + ("engine", "index", "apps", "bench", "cli"),
+    "kernels": ("engine", "parallel", "dynamic", "index", "apps", "bench", "cli")
+    + FAMILY_PACKAGES,
+    "engine": FAMILY_PACKAGES + ("parallel", "dynamic", "index", "apps", "bench", "cli"),
+    "parallel": FAMILY_PACKAGES + ("engine", "dynamic", "index", "apps", "bench", "cli"),
+    "dynamic": FAMILY_PACKAGES + ("engine", "parallel", "index", "apps", "bench", "cli"),
 }
 for _family in FAMILY_PACKAGES:
     FORBIDDEN[_family] = tuple(f for f in FAMILY_PACKAGES if f != _family) + (
-        "parallel", "index", "apps", "bench", "cli", "obs",
+        "parallel", "dynamic", "index", "apps", "bench", "cli", "obs",
     )
 
 #: full module name -> repro subpackages that *specific module* must not

@@ -64,8 +64,9 @@ from .engine import (
     get_family,
     register_family,
 )
+from .dynamic import GraphDelta, VersionedGraph, incremental_core_numbers
 from .errors import ReproError
-from .index import BestKIndex
+from .index import ApplyResult, BestKIndex
 from .generators import load_dataset
 from .graph import Graph, GraphBuilder, load_edge_list, save_edge_list
 from .truss import best_ktruss_set, truss_decomposition
@@ -75,6 +76,7 @@ from .weighted import best_s_core_set, s_core_decomposition
 __version__ = "1.0.0"
 
 __all__ = [
+    "ApplyResult",
     "BestCoreResult",
     "BestKIndex",
     "BestKResult",
@@ -85,6 +87,7 @@ __all__ = [
     "DensestResult",
     "Graph",
     "GraphBuilder",
+    "GraphDelta",
     "KCoreScores",
     "KCoreSetScores",
     "KernelBackend",
@@ -94,6 +97,7 @@ __all__ = [
     "PAPER_METRICS",
     "ReproError",
     "SizedCoreResult",
+    "VersionedGraph",
     "available_backends",
     "available_families",
     "available_metrics",
@@ -113,6 +117,7 @@ __all__ = [
     "get_backend",
     "get_metric",
     "greedy_peel_densest",
+    "incremental_core_numbers",
     "kcore_scores",
     "kcore_set_scores",
     "label_propagation",

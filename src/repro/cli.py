@@ -8,9 +8,15 @@ Installed as the ``bestk`` console script (also ``python -m repro``):
 * ``bestk core GRAPH -m METRIC``       — best single k-core
 * ``bestk truss GRAPH -m METRIC``      — best k for the k-truss set
   (alias for ``set --family truss``)
+* ``bestk apply GRAPH --edges FILE``   — apply an edge delta: produce the
+  next epoch snapshot with incremental core maintenance and scoped index
+  invalidation (``--delete`` removes the edges instead)
+* ``bestk epochs GRAPH``               — list the recorded epoch snapshots
+  of a graph's lineage in the artifact cache
 * ``bestk families``                   — list the hierarchy-family registry
 * ``bestk backends``                   — list kernel backends; for the
   native backend, the per-kernel JIT/fallback status and numba version
+  (``--check NAME`` exits nonzero when NAME cannot serve natively)
 * ``bestk densest GRAPH``              — Opt-D vs CoreApp
 * ``bestk forest GRAPH``               — ASCII core-forest tree
 * ``bestk profile GRAPH -m METRIC``    — score-vs-k profile with sparkline
@@ -33,6 +39,12 @@ is the default).  They also accept ``--trace FILE`` — equivalent to the
 :mod:`repro.obs` spans and counters as JSON lines for ``bestk stats``
 to replay.  Every exit path — success, error, Ctrl-C — releases any
 shared-memory segments the parallel layer created.
+
+Selector strictness: an *explicitly requested* backend (``--backend`` or
+``REPRO_BACKEND``) that cannot actually serve — unknown name, or the
+native backend with every kernel in fallback — and an unknown engine
+(``--engine`` / ``REPRO_ENGINE``) fail fast with exit code 1 instead of
+silently degrading to another implementation.
 """
 
 from __future__ import annotations
@@ -178,11 +190,48 @@ def build_parser() -> argparse.ArgumentParser:
                 help="strength quantisation resolution (weighted family only)",
             )
 
+    p = sub.add_parser(
+        "apply",
+        help="apply an edge delta: next epoch + incremental core maintenance",
+    )
+    graph_arg(p)
+    p.add_argument(
+        "--edges", required=True, metavar="FILE",
+        help="file of whitespace-separated 'u v' pairs (gzip ok, # comments)",
+    )
+    p.add_argument(
+        "--delete", action="store_true",
+        help="delete the edges instead of inserting them",
+    )
+    p.add_argument(
+        "--num-vertices", type=int, default=None,
+        help="grow the graph to at least this many vertices (isolated growth)",
+    )
+    p.add_argument(
+        "--lenient", action="store_true",
+        help="drop no-op edges (insert already present / delete missing) "
+             "instead of failing",
+    )
+    _index_args(p)
+
+    p = sub.add_parser(
+        "epochs",
+        help="list the recorded epoch snapshots of a graph's lineage",
+    )
+    graph_arg(p)
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: REPRO_CACHE_DIR)")
+
     sub.add_parser("families", help="list the hierarchy-family registry")
 
-    sub.add_parser(
+    p = sub.add_parser(
         "backends",
         help="list kernel backends; for native, per-kernel JIT status",
+    )
+    p.add_argument(
+        "--check", default=None, metavar="NAME",
+        help="exit 1 with a diagnostic if backend NAME cannot serve "
+             "(unknown, or native with every kernel in fallback)",
     )
 
     p = sub.add_parser("densest", help="densest subgraph: Opt-D vs CoreApp")
@@ -333,6 +382,154 @@ def _cmd_bestk(args, which: str) -> int:
     return 0
 
 
+def _backend_unavailable(name: str) -> str | None:
+    """Why the named backend cannot serve, or ``None`` when it can.
+
+    Unknown names report the registry error.  The native backend counts
+    as unavailable only when *no* kernel compiled natively — per-kernel
+    fallback is its documented contract, but a user who explicitly asked
+    for ``native`` and would get pure numpy deserves a hard failure, not
+    a silent degrade.
+    """
+    from .kernels import get_backend
+
+    try:
+        backend = get_backend(name)
+    except ReproError as exc:
+        return str(exc)
+    kernel_status = getattr(backend, "kernel_status", None)
+    if kernel_status is None:
+        return None
+    status = kernel_status()
+    if any(state["mode"] == "native" for state in status.values()):
+        return None
+    reasons = sorted({
+        state.get("reason") or "" for state in status.values()
+        if state["mode"] == "fallback"
+    })
+    detail = "; ".join(r for r in reasons if r) or "no JIT provider"
+    return (
+        f"backend {name!r} was requested explicitly but every kernel would "
+        f"fall back to numpy ({detail}); install numba or a C toolchain, "
+        f"unset REPRO_NATIVE_DISABLE, or drop the explicit backend request"
+    )
+
+
+def _validate_selectors(args) -> None:
+    """Fail fast on explicitly requested selectors that cannot serve.
+
+    Only commands carrying the corresponding option are checked, and only
+    when the user asked for something — via the flag or the environment
+    variable.  The default resolution path (no request) keeps its
+    documented degrade behaviour.
+    """
+    import os
+
+    if hasattr(args, "backend"):
+        requested = args.backend or os.environ.get("REPRO_BACKEND", "").strip() or None
+        if requested:
+            message = _backend_unavailable(requested)
+            if message:
+                raise ReproError(message)
+    if hasattr(args, "engine"):
+        from .core.decomposition import resolve_engine
+
+        # Raises UnknownEngineError for a bogus --engine or REPRO_ENGINE.
+        resolve_engine(args.engine)
+
+
+def _cmd_apply(args) -> int:
+    from .dynamic import GraphDelta, VersionedGraph, edges_from_file
+    from .index import BestKIndex
+    from .index.store import resolve_store
+
+    base = _load_graph(args.graph)
+    store = resolve_store(args.cache_dir or None)
+    vg = VersionedGraph(base)
+    if store is not None:
+        resumed = store.load_latest_epoch(vg.lineage)
+        if resumed is not None:
+            print(f"resuming lineage {vg.lineage[:12]} at epoch {resumed.epoch}")
+            vg = resumed
+    pairs = edges_from_file(args.edges)
+    delta = GraphDelta.from_edges(
+        insert=() if args.delete else pairs,
+        delete=pairs if args.delete else (),
+        num_vertices=args.num_vertices,
+    )
+    with obs.span("cli:apply", n=vg.num_vertices, m=vg.num_edges):
+        index = BestKIndex(
+            vg, backend=args.backend, jobs=args.jobs, store=store,
+            engine=args.engine,
+        )
+        # Ensure a core baseline exists before applying: hydrated from the
+        # store when warm, built once when cold.  The apply then repairs
+        # it incrementally and re-persists it under the new epoch's key,
+        # so chained invocations never re-peel.
+        index.family_decomposition("core")
+        result = index.apply(delta, strict=not args.lenient)
+    graph = result.graph
+    print(
+        f"epoch {result.epoch}: n={graph.num_vertices:,} "
+        f"m={graph.num_edges:,} (+{result.inserted} -{result.deleted} edges)"
+    )
+    print(
+        f"maintenance: path={result.path} reason={result.reason} "
+        f"changed={result.changed} vertex core number(s)"
+    )
+    for label, names in (
+        ("patched", result.patched),
+        ("retained", result.retained),
+        ("invalidated", result.invalidated),
+    ):
+        if names:
+            print(f"  {label}: {', '.join(names)}")
+    if store is not None:
+        lineage = index.versioned.lineage
+        records = store.epoch_records(lineage)
+        print(
+            f"lineage {lineage[:12]}: {len(records)} epoch record(s) "
+            f"in {store.root}"
+        )
+    else:
+        print(
+            "(no cache directory: epoch not persisted; "
+            "pass --cache-dir to chain applies)"
+        )
+    return 0
+
+
+def _cmd_epochs(args) -> int:
+    from .dynamic import VersionedGraph
+    from .index.store import resolve_store
+
+    store = resolve_store(args.cache_dir or None)
+    if store is None:
+        print(
+            "error: no cache directory (pass --cache-dir or set REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 1
+    base = _load_graph(args.graph)
+    vg = VersionedGraph(base)
+    records = store.epoch_records(vg.lineage)
+    print(
+        f"epoch 0: n={base.num_vertices:,} m={base.num_edges:,} "
+        f"(base graph, lineage {vg.lineage[:12]})"
+    )
+    for meta in records:
+        print(
+            f"epoch {meta['epoch']}: n={meta['n']:,} m={meta['m']:,} "
+            f"(+{meta['inserted']} -{meta['deleted']} edges, "
+            f"digest {str(meta['digest'])[:12]})"
+        )
+    if records:
+        print(f"{len(records)} record(s); latest epoch {records[-1]['epoch']} in {store.root}")
+    else:
+        print("no epoch records yet; 'bestk apply --cache-dir ...' writes them")
+    return 0
+
+
 def _cmd_families(_args) -> int:
     for name in available_families():
         fam = get_family(name)
@@ -345,9 +542,17 @@ def _cmd_families(_args) -> int:
     return 0
 
 
-def _cmd_backends(_args) -> int:
+def _cmd_backends(args) -> int:
     from .kernels import available_backends, get_backend
     from .kernels.native_backend import NativeBackend, numba_version
+
+    if getattr(args, "check", None):
+        message = _backend_unavailable(args.check)
+        if message:
+            print(f"error: {message}", file=sys.stderr)
+            return 1
+        print(f"{args.check}: available")
+        return 0
 
     blurbs = {
         "python": "scalar reference loops (bit-identical yardstick)",
@@ -499,10 +704,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if getattr(args, "trace", None):
         obs.configure_trace(args.trace)
     try:
+        _validate_selectors(args)
         if args.command == "decompose":
             return _cmd_decompose(args)
         if args.command in ("set", "core", "truss"):
             return _cmd_bestk(args, args.command)
+        if args.command == "apply":
+            return _cmd_apply(args)
+        if args.command == "epochs":
+            return _cmd_epochs(args)
         if args.command == "families":
             return _cmd_families(args)
         if args.command == "backends":

@@ -53,6 +53,10 @@ class CoreFamily(HierarchyFamily):
     description = "maximal subgraphs where every vertex keeps degree >= k"
     supports_store = True
     supports_engine = True
+    #: Coreness is exactly what repro.dynamic's subcore maintenance
+    #: repairs, and CoreDecomposition rebuilds deterministically from the
+    #: repaired array alone.
+    supports_incremental = True
 
     def decompose(
         self, graph, *, backend=None, engine=None, jobs=None, **params

@@ -1,0 +1,264 @@
+"""Traversal-style incremental core maintenance over CSR snapshots.
+
+:func:`incremental_core_numbers` repairs a coreness array across a
+:class:`~repro.dynamic.GraphDelta` instead of re-peeling the whole graph.
+It rests on the subcore theorem (Sarıyüce et al., PVLDB 2013): one edge
+update changes any coreness by at most 1, and only inside the *subcore* —
+the vertices of coreness ``K = min(c(u), c(v))`` reachable from the
+touched endpoints through vertices of coreness exactly ``K``.  Each edge
+of the delta is therefore a local peel:
+
+* insert — optimistic: a member rises to ``K + 1`` only if more than
+  ``K`` of its neighbours already sit above ``K`` or are fellow members;
+  peeling members whose optimistic support is ``<= K`` leaves the risers.
+* delete — pessimistic: members whose support (neighbours of coreness
+  ``>= K``) drops below ``K`` fall to ``K - 1``, cascading.
+
+When locality cannot pay off — no baseline coreness, a delta touching a
+large fraction of the graph, or a traversal that blows past
+``subcore_limit`` — the function falls back to one full peel of the new
+snapshot via the kernel backend.  Every call lands on the
+``dynamic.maintain{path,reason}`` counter so the split is observable.
+
+Adjacency during maintenance is a copy-on-write overlay on the *old*
+snapshot's CSR: only rows actually edited by the delta are promoted to
+python sets, everything else reads the frozen arrays in place.  This
+keeps per-edge cost proportional to the subcore neighbourhood, not n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+from ..graph.csr import Graph
+from ..kernels import get_backend
+from .delta import GraphDelta
+from .versioned import VersionedGraph
+
+__all__ = ["MaintainResult", "incremental_core_numbers"]
+
+
+@dataclass(frozen=True)
+class MaintainResult:
+    """Outcome of one maintenance call.
+
+    Attributes
+    ----------
+    coreness:
+        int64 coreness array for the *new* snapshot (length = new n).
+    path:
+        ``"incremental"`` when the subcore walk repaired the baseline,
+        ``"rebuild"`` when a full peel of the new snapshot ran.
+    reason:
+        ``"ok"`` for incremental; for rebuilds one of ``"no_baseline"``,
+        ``"large_delta"``, ``"subcore_limit"``.
+    changed:
+        Sorted vertex ids whose coreness differs from the (zero-padded)
+        baseline; every vertex when there was no baseline.
+    """
+
+    coreness: np.ndarray
+    path: str
+    reason: str
+    changed: np.ndarray
+
+
+class _SubcoreLimit(Exception):
+    """Internal: a subcore traversal exceeded the configured budget."""
+
+
+class _OverlayAdjacency:
+    """Copy-on-write adjacency: CSR reads with per-row set overlays."""
+
+    def __init__(self, graph: Graph, n_new: int):
+        self._graph = graph
+        self._n_old = graph.num_vertices
+        self._rows: dict[int, set[int]] = {}
+        self.n = n_new
+
+    def neighbors(self, v: int):
+        row = self._rows.get(v)
+        if row is not None:
+            return row
+        if v < self._n_old:
+            return self._graph.neighbors(v)
+        return ()
+
+    def edit(self, v: int) -> set[int]:
+        row = self._rows.get(v)
+        if row is None:
+            if v < self._n_old:
+                row = set(map(int, self._graph.neighbors(v)))
+            else:
+                row = set()
+            self._rows[v] = row
+        return row
+
+
+def incremental_core_numbers(
+    old_graph: Graph,
+    old_coreness: np.ndarray | None,
+    delta: GraphDelta,
+    *,
+    new_graph: Graph | None = None,
+    backend: str | None = None,
+    subcore_limit: int | None = None,
+) -> MaintainResult:
+    """Coreness of ``old_graph`` + ``delta``, repaired locally when possible.
+
+    ``delta`` must be *effective* relative to ``old_graph`` (every insert
+    absent, every delete present) — exactly what
+    :meth:`VersionedGraph.effective_delta` / :meth:`VersionedGraph.apply`
+    produce.  ``new_graph`` may pass the already-built next snapshot to
+    spare the rebuild path a second CSR merge; it is also used to size
+    the result.  ``subcore_limit`` caps the vertices any single subcore
+    traversal may visit before bailing to a full peel (default
+    ``max(256, n_new // 8)``).
+    """
+    n_new = delta.min_num_vertices(old_graph.num_vertices) if new_graph is None else new_graph.num_vertices
+    if subcore_limit is None:
+        subcore_limit = max(256, n_new // 8)
+
+    if old_coreness is None:
+        return _rebuild(old_graph, old_coreness, delta, new_graph, backend, "no_baseline")
+    m_new = (
+        new_graph.num_edges if new_graph is not None
+        else old_graph.num_edges + len(delta.insert) - len(delta.delete)
+    )
+    if delta.num_changes > max(4, m_new // 4):
+        return _rebuild(old_graph, old_coreness, delta, new_graph, backend, "large_delta")
+
+    core = np.zeros(n_new, dtype=np.int64)
+    core[: len(old_coreness)] = old_coreness
+    adj = _OverlayAdjacency(old_graph, n_new)
+    try:
+        # Deletes first, then inserts: the two effective sets are disjoint
+        # and validated against the old snapshot, so this order is always
+        # applicable edge by edge.
+        for u, v in delta.delete:
+            _remove_edge(adj, core, int(u), int(v), subcore_limit)
+        for u, v in delta.insert:
+            _insert_edge(adj, core, int(u), int(v), subcore_limit)
+    except _SubcoreLimit:
+        return _rebuild(old_graph, old_coreness, delta, new_graph, backend, "subcore_limit")
+
+    baseline = np.zeros(n_new, dtype=np.int64)
+    baseline[: len(old_coreness)] = old_coreness
+    changed = np.flatnonzero(core != baseline)
+    obs.add("dynamic.maintain", path="incremental", reason="ok")
+    return MaintainResult(core, "incremental", "ok", changed)
+
+
+# ----------------------------------------------------------------------
+# Per-edge subcore repairs (ports of repro.core.dynamic.DynamicCoreness,
+# re-expressed over the copy-on-write CSR overlay).
+# ----------------------------------------------------------------------
+
+def _subcore(adj: _OverlayAdjacency, core: np.ndarray, root: int, level: int, limit: int) -> set[int]:
+    """Vertices of coreness ``level`` reachable from ``root`` through
+    vertices of coreness ``level``; raises :class:`_SubcoreLimit` past
+    ``limit`` visited vertices."""
+    if core[root] != level:
+        return set()
+    seen = {root}
+    stack = [root]
+    while stack:
+        w = stack.pop()
+        for x in adj.neighbors(w):
+            x = int(x)
+            if core[x] == level and x not in seen:
+                seen.add(x)
+                if len(seen) > limit:
+                    raise _SubcoreLimit
+                stack.append(x)
+    return seen
+
+
+def _insert_edge(adj: _OverlayAdjacency, core: np.ndarray, u: int, v: int, limit: int) -> None:
+    adj.edit(u).add(v)
+    adj.edit(v).add(u)
+    level = int(min(core[u], core[v]))
+    root = u if core[u] <= core[v] else v
+    members = _subcore(adj, core, root, level, limit)
+    support = {
+        w: sum(1 for x in adj.neighbors(w) if core[int(x)] > level or int(x) in members)
+        for w in members
+    }
+    stack = [w for w in members if support[w] <= level]
+    alive = set(members)
+    while stack:
+        w = stack.pop()
+        if w not in alive:
+            continue
+        alive.discard(w)
+        for x in adj.neighbors(w):
+            x = int(x)
+            if x in alive and core[x] == level:
+                support[x] -= 1
+                if support[x] <= level:
+                    stack.append(x)
+    for w in alive:
+        core[w] = level + 1
+
+
+def _remove_edge(adj: _OverlayAdjacency, core: np.ndarray, u: int, v: int, limit: int) -> None:
+    level = int(min(core[u], core[v]))
+    adj.edit(u).discard(v)
+    adj.edit(v).discard(u)
+    if level == 0:
+        return
+    members: set[int] = set()
+    for endpoint in (u, v):
+        if core[endpoint] == level and endpoint not in members:
+            members |= _subcore(adj, core, endpoint, level, limit)
+    if not members:
+        return
+    support = {
+        w: sum(1 for x in adj.neighbors(w) if core[int(x)] >= level)
+        for w in members
+    }
+    stack = [w for w in members if support[w] < level]
+    dropped: set[int] = set()
+    while stack:
+        w = stack.pop()
+        if w in dropped:
+            continue
+        dropped.add(w)
+        for x in adj.neighbors(w):
+            x = int(x)
+            if x in members and x not in dropped:
+                support[x] -= 1
+                if support[x] < level:
+                    stack.append(x)
+    for w in dropped:
+        core[w] = level - 1
+
+
+# ----------------------------------------------------------------------
+
+def _rebuild(
+    old_graph: Graph,
+    old_coreness: np.ndarray | None,
+    delta: GraphDelta,
+    new_graph: Graph | None,
+    backend: str | None,
+    reason: str,
+) -> MaintainResult:
+    """Full peel of the new snapshot via the kernel backend."""
+    if new_graph is None:
+        new_graph = VersionedGraph(old_graph).apply(delta).graph
+    if new_graph.num_vertices == 0:
+        core = np.empty(0, dtype=np.int64)
+    else:
+        core = np.asarray(get_backend(backend).peel_coreness(new_graph), dtype=np.int64)
+    if old_coreness is None:
+        changed = np.arange(new_graph.num_vertices, dtype=np.int64)
+    else:
+        baseline = np.zeros(new_graph.num_vertices, dtype=np.int64)
+        baseline[: min(len(old_coreness), len(baseline))] = old_coreness[: len(baseline)]
+        changed = np.flatnonzero(core != baseline)
+    obs.add("dynamic.maintain", path="rebuild", reason=reason)
+    return MaintainResult(core, "rebuild", reason, changed)

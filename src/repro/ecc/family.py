@@ -24,6 +24,8 @@ class EccFamily(HierarchyFamily):
     paper_section = "VI-B"
     description = "maximal subgraphs that survive removal of any k-1 edges"
     supports_store = True
+    #: Connectivity cuts are non-local; no incremental repair — rebuild on change.
+    supports_incremental = False
 
     def decompose(self, graph, *, backend=None, max_k=None, **params) -> EccDecomposition:
         return ecc_decomposition(graph, max_k=max_k)

@@ -99,6 +99,12 @@ class HierarchyFamily:
     #: fixpoint).  Engines are bit-identical by contract, so the selection
     #: never participates in cache or store tokens.
     supports_engine: bool = False
+    #: Whether this family's levels are k-core numbers that
+    #: :func:`repro.dynamic.incremental_core_numbers` can repair across a
+    #: graph delta.  Families that leave this ``False`` declare
+    #: rebuild-on-change: :meth:`repro.index.BestKIndex.apply` invalidates
+    #: their artifacts instead of patching them.
+    supports_incremental: bool = False
 
     # -- abstract hooks -------------------------------------------------
 

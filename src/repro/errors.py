@@ -90,6 +90,15 @@ class EmptyGraphError(ReproError):
     """An operation that needs at least one vertex/edge got an empty graph."""
 
 
+class GraphDeltaError(ReproError):
+    """A :class:`repro.dynamic.GraphDelta` is malformed or inapplicable.
+
+    Raised for structural problems (self loops, negative ids, overlapping
+    insert/delete sets) and, under strict application, for no-op edges:
+    inserting an edge already present or deleting one that is missing.
+    """
+
+
 class QueryError(ReproError):
     """An application-level query is unsatisfiable or malformed.
 

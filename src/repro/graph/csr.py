@@ -47,11 +47,22 @@ class Graph:
     validate:
         When true (the default) cheap structural checks are performed; pass
         ``False`` only for arrays produced by trusted internal code.
+    digest:
+        Optional pre-computed identity returned by :meth:`content_digest`
+        instead of hashing the arrays.  :mod:`repro.dynamic` uses this to
+        stamp epoch snapshots with an epoch-qualified digest so two
+        content-identical graphs at different epochs never alias in the
+        artifact store.  The override is epoch-local state: pickling (and
+        therefore every shared-memory worker handoff) strips it, and the
+        round-tripped graph recomputes the pure content digest.
     """
 
     __slots__ = ("_indptr", "_indices", "_degrees", "_digest")
 
-    def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
+    def __init__(
+        self, indptr: np.ndarray, indices: np.ndarray, *,
+        validate: bool = True, digest: str | None = None,
+    ):
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         if validate:
@@ -65,8 +76,9 @@ class Graph:
         self._degrees = np.diff(indptr)
         self._degrees.setflags(write=False)
         # Content digest is lazy: hashing is O(m) and most graphs are never
-        # used as a persistent-cache key.
-        self._digest: str | None = None
+        # used as a persistent-cache key.  A caller-provided digest (epoch
+        # stamping) short-circuits the hash.
+        self._digest: str | None = digest
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -117,15 +129,21 @@ class Graph:
         return cls(indptr, dst, validate=False)
 
     @classmethod
-    def from_arrays(cls, indptr: np.ndarray, indices: np.ndarray, validate: bool = True) -> "Graph":
+    def from_arrays(
+        cls, indptr: np.ndarray, indices: np.ndarray, validate: bool = True,
+        *, digest: str | None = None,
+    ) -> "Graph":
         """Rebuild a graph from raw CSR arrays.
 
         The inverse of reading :attr:`indptr` / :attr:`indices`; also the
         reconstruction half of pickling and of the shared-memory handoff in
         :mod:`repro.parallel` (both pass ``validate=False`` because the
-        arrays come from an already-validated :class:`Graph`).
+        arrays come from an already-validated :class:`Graph`).  ``digest``
+        presets :meth:`content_digest` (see the class docstring); pickling
+        never forwards it, so reconstructed copies always re-derive their
+        identity from the arrays alone.
         """
-        return cls(indptr, indices, validate=validate)
+        return cls(indptr, indices, validate=validate, digest=digest)
 
     @classmethod
     def empty(cls, num_vertices: int = 0) -> "Graph":
@@ -198,7 +216,11 @@ class Graph:
 
         Unlike :meth:`__hash__` this survives across processes and python
         runs, which is what keys the persistent artifact store
-        (:mod:`repro.index.store`).  Cached after the first call.
+        (:mod:`repro.index.store`).  Cached after the first call.  Epoch
+        snapshots produced by :mod:`repro.dynamic` preset this with an
+        epoch-qualified digest (``digest=`` construction parameter), so
+        store bundles of different epochs never alias even when their CSR
+        content happens to coincide.
         """
         if self._digest is None:
             h = hashlib.sha256()
@@ -212,10 +234,12 @@ class Graph:
     # Dunder protocol
     # ------------------------------------------------------------------
     def __reduce__(self):
-        # Serialize only the defining CSR arrays: the degree cache (and any
-        # future derived cache) is recomputed on load, so a pickled graph —
-        # and every per-task handoff to a worker process — carries exactly
-        # the O(m) payload.
+        # Serialize only the defining CSR arrays: the degree cache and the
+        # digest — which may be an epoch-stamped override from
+        # repro.dynamic, i.e. per-epoch state — are recomputed on load, so
+        # a pickled graph (and every per-task handoff to a worker process)
+        # carries exactly the O(m) payload and can never smuggle stale
+        # epoch identity into another process.
         return (Graph.from_arrays, (self._indptr, self._indices, False))
 
     def __len__(self) -> int:

@@ -6,7 +6,7 @@ best-k problems for every metric from one set of artifacts, and
 hydrate from (``store=`` / ``REPRO_CACHE_DIR``).
 """
 
-from .bestk_index import BestKIndex
+from .bestk_index import ApplyResult, BestKIndex
 from .store import ArtifactStore, resolve_store
 
-__all__ = ["ArtifactStore", "BestKIndex", "resolve_store"]
+__all__ = ["ApplyResult", "ArtifactStore", "BestKIndex", "resolve_store"]

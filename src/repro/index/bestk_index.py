@@ -58,6 +58,7 @@ measure cold-vs-warm and serial-vs-parallel gaps.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -90,6 +91,7 @@ from ..engine.levels import (
 from ..engine.metrics import PAPER_METRICS, Metric, get_metric
 from ..engine.primary import GraphTotals, graph_totals
 from ..engine.triangles import triangles_by_min_rank_vertex
+from ..dynamic import GraphDelta, VersionedGraph, incremental_core_numbers
 from ..errors import MetricRequirementError, ReproError
 from ..graph.csr import Graph
 from ..kernels import get_backend
@@ -97,7 +99,7 @@ from ..parallel import parallel_map, resolve_jobs, shared_graph
 from .store import hydrate_arrays, resolve_store
 from .worker import build_family_artifacts
 
-__all__ = ["BestKIndex"]
+__all__ = ["ApplyResult", "BestKIndex"]
 
 #: Triangle-pass artifacts; :meth:`BestKIndex.prebuild` splits them into
 #: their own worker task so the O(m^1.5) pass overlaps the O(m) builds.
@@ -130,13 +132,41 @@ _GENERIC_ARTIFACTS = (
 _CORE_ARTIFACTS = ("order", "forest", "node_totals", "node_triangles")
 
 
+@dataclass(frozen=True)
+class ApplyResult:
+    """Outcome of one :meth:`BestKIndex.apply` call.
+
+    ``path`` / ``reason`` mirror the ``dynamic.maintain`` counter labels
+    (``"none"`` when no maintenance ran: a no-op delta, or no core
+    baseline to repair).  ``patched`` / ``retained`` / ``invalidated``
+    partition the families that had artifacts before the apply: patched
+    families kept an artifact repaired in place, retained families kept
+    everything untouched (no-op delta), invalidated families rebuild
+    lazily on their next query.
+    """
+
+    epoch: int
+    graph: Graph
+    path: str
+    reason: str
+    changed: int
+    inserted: int
+    deleted: int
+    patched: tuple[str, ...]
+    retained: tuple[str, ...]
+    invalidated: tuple[str, ...]
+
+
 class BestKIndex:
     """Lazily built, shared index answering best-k for every family.
 
     Parameters
     ----------
     graph:
-        The host graph; all queries refer to it.
+        The host graph; all queries refer to it.  Passing a
+        :class:`~repro.dynamic.VersionedGraph` serves its current
+        snapshot and lets :meth:`apply` continue the lineage (epoch
+        numbering, stamped digests) instead of starting a fresh one.
     backend:
         Kernel backend selector threaded through every kernel the index
         runs (name, instance, or ``None`` for ``REPRO_BACKEND``/default).
@@ -165,10 +195,17 @@ class BestKIndex:
     """
 
     def __init__(
-        self, graph: Graph, *, backend=None, jobs: int | None = None,
-        store=None, engine: str | None = None,
+        self, graph: Graph | VersionedGraph, *, backend=None,
+        jobs: int | None = None, store=None, engine: str | None = None,
     ):
-        self.graph = graph
+        if isinstance(graph, VersionedGraph):
+            #: Epoch position when the index serves a dynamic lineage
+            #: (``None`` for a plain static graph until the first apply).
+            self._versioned: VersionedGraph | None = graph
+            self.graph = graph.graph
+        else:
+            self._versioned = None
+            self.graph = graph
         self.backend = backend
         #: Resolved kernel-backend identity token; part of every store
         #: bundle key so artifacts built by different backends never alias
@@ -823,6 +860,132 @@ class BestKIndex:
         weight vector per graph).
         """
         return self.family_decomposition("weighted", edge_weights=edge_weights)
+
+    # ------------------------------------------------------------------
+    # Dynamic graphs: delta application with scoped invalidation
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Epoch of the current snapshot (0 until the first :meth:`apply`)."""
+        return 0 if self._versioned is None else self._versioned.epoch
+
+    @property
+    def versioned(self) -> VersionedGraph:
+        """The current snapshot as a :class:`~repro.dynamic.VersionedGraph`."""
+        if self._versioned is None:
+            self._versioned = VersionedGraph(self.graph)
+        return self._versioned
+
+    def apply(self, delta: GraphDelta, *, strict: bool = True) -> ApplyResult:
+        """Advance the index to the next epoch with scoped invalidation.
+
+        The snapshot moves forward via
+        :meth:`~repro.dynamic.VersionedGraph.apply`; then, instead of the
+        all-or-nothing cache flush a new ``BestKIndex`` would amount to,
+        each family with built artifacts is handled by what the delta can
+        provably have changed:
+
+        * **retained** — a no-op delta (nothing effective, same vertex
+          count) leaves every artifact and memoized score untouched;
+        * **patched** — the core family's ``supports_incremental`` lets
+          ``core:decompose`` be repaired in place through
+          :func:`~repro.dynamic.incremental_core_numbers` (the repaired
+          coreness rebuilds the decomposition deterministically), so the
+          peel never reruns even though downstream core artifacts
+          (orderings, totals, forest) rebuild lazily;
+        * **invalidated** — rebuild-on-change families (truss, weighted,
+          ecc) drop their artifacts and rebuild on next query.
+
+        With a store configured, the new epoch snapshot is recorded
+        (:meth:`~repro.index.store.ArtifactStore.save_epoch`) and the
+        patched/retained artifacts are re-offered under the new
+        epoch-stamped bundle key, so a warm restart after churn hydrates
+        the newest consistent snapshot.  Results after an apply are
+        bit-identical to a cold index on the new snapshot
+        (``tests/test_index_apply.py`` enforces this).
+        """
+        vg = self.versioned
+        core_fam = get_family("core")
+        with obs.span(
+            "index:apply", epoch=vg.epoch + 1,
+            inserted=len(delta.insert), deleted=len(delta.delete),
+        ) as sp:
+            if self.store is not None:
+                # Hydrate core now so a warm restart has a baseline to
+                # repair instead of falling back to a full peel.
+                self._maybe_hydrate(core_fam, {})
+            new_vg = vg.apply(delta, strict=strict)
+            eff = new_vg.applied
+            noop = eff.is_empty and new_vg.num_vertices == vg.num_vertices
+            families = self.built_families()
+
+            maintained = None
+            old_decomp = self._artifacts.get("core:decompose")
+            if not noop and core_fam.supports_incremental and old_decomp is not None:
+                maintained = incremental_core_numbers(
+                    vg.graph, old_decomp.coreness, eff,
+                    new_graph=new_vg.graph, backend=self.backend,
+                )
+            self._versioned = new_vg
+            self.graph = new_vg.graph
+
+            patched: list[str] = []
+            retained: list[str] = []
+            invalidated: list[str] = []
+            if noop:
+                retained = list(families)
+            else:
+                for name in families:
+                    self._invalidate(name)
+                    if name == "core" and maintained is not None:
+                        decomp = core_fam.load_decomposition(
+                            self.graph, {"coreness": maintained.coreness}
+                        )
+                        self._artifacts["core:decompose"] = decomp
+                        self.build_seconds["core:decompose"] = 0.0
+                        patched.append(name)
+                    else:
+                        invalidated.append(name)
+                self._core_scores.clear()
+            # The new snapshot's stamped digest keys different bundles, so
+            # every family must be re-probed (and re-persisted) against it.
+            self._hydrated.clear()
+            if self.store is not None:
+                try:
+                    self.store.save_epoch(new_vg)
+                except OSError:
+                    pass
+                for key in self._artifacts:
+                    fam_name, _, art_name = key.partition(":")
+                    try:
+                        self.store.save_artifact(
+                            self.graph, get_family(fam_name), {},
+                            self.backend_name, art_name, self._artifacts[key],
+                        )
+                    except (ReproError, TypeError, OSError):
+                        # Parametrised families (whose store token needs
+                        # params this method does not carry) re-persist on
+                        # their next ordinary build instead.
+                        continue
+
+            path = "none" if maintained is None else maintained.path
+            reason = (
+                ("noop" if noop else "no_artifacts")
+                if maintained is None else maintained.reason
+            )
+            sp.update(path=path, reason=reason)
+            return ApplyResult(
+                epoch=new_vg.epoch,
+                graph=new_vg.graph,
+                path=path,
+                reason=reason,
+                changed=0 if maintained is None else int(len(maintained.changed)),
+                inserted=len(eff.insert),
+                deleted=len(eff.delete),
+                patched=tuple(patched),
+                retained=tuple(retained),
+                invalidated=tuple(invalidated),
+            )
 
     # ------------------------------------------------------------------
     # Introspection

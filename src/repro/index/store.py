@@ -53,6 +53,7 @@ from .. import obs
 from ..core.decomposition import CoreDecomposition
 from ..core.forest import CoreForest, CoreNode
 from ..core.ordering import OrderedGraph
+from ..dynamic.versioned import VersionedGraph, stamp_epoch_digest
 from ..engine.family import HierarchyFamily
 from ..engine.levels import LevelOrdering
 from ..graph.csr import Graph
@@ -481,6 +482,110 @@ class ArtifactStore:
     def clear_shard_state(self, key: str) -> None:
         """Remove one checkpoint set (after a converged run)."""
         self._discard(self.shard_state_dir(key))
+
+    # -- epoch snapshots (repro.dynamic lineages) -----------------------
+    def epochs_dir(self, lineage: str) -> Path:
+        """Directory grouping every epoch record of one graph lineage."""
+        return self.root / f"epochs-{lineage[:20]}"
+
+    def save_epoch(self, versioned: VersionedGraph) -> Path:
+        """Persist one epoch's CSR snapshot so warm restarts can resume it.
+
+        Records the snapshot arrays atomically plus a manifest carrying
+        the lineage, epoch number, stamped digest and delta sizes.  A
+        record is self-verifying: :meth:`load_latest_epoch` recomputes
+        the stamped digest from the arrays and discards any record whose
+        manifest disagrees.
+        """
+        d = self.epochs_dir(versioned.lineage) / f"epoch-{versioned.epoch:06d}"
+        d.mkdir(parents=True, exist_ok=True)
+        g = versioned.graph
+        _atomic_save_array(d / "indptr.npy", g.indptr)
+        _atomic_save_array(d / "indices.npy", g.indices)
+        applied = versioned.applied
+        meta = {
+            "format": FORMAT_VERSION,
+            "lineage": versioned.lineage,
+            "epoch": versioned.epoch,
+            "digest": versioned.digest,
+            "parent": versioned.parent_digest,
+            "n": g.num_vertices,
+            "m": g.num_edges,
+            "inserted": 0 if applied is None else len(applied.insert),
+            "deleted": 0 if applied is None else len(applied.delete),
+        }
+        _atomic_write_text(d / "meta.json", json.dumps(meta, indent=1, sort_keys=True))
+        obs.add("store.persist", family="dynamic", artifact="epoch")
+        return d
+
+    def epoch_records(self, lineage: str) -> list[dict]:
+        """Readable epoch manifests of one lineage, oldest first.
+
+        Unreadable records and records of a different lineage (a prefix
+        collision) are skipped, not discarded — listing must be safe to
+        call concurrently with a writer.
+        """
+        root = self.epochs_dir(lineage)
+        if not root.exists():
+            return []
+        out = []
+        for path in sorted(p for p in root.iterdir() if p.is_dir()):
+            meta = self._read_meta(path)
+            if meta is None or meta.get("lineage") != lineage:
+                continue
+            meta["path"] = path
+            out.append(meta)
+        out.sort(key=lambda m: m.get("epoch", -1))
+        return out
+
+    def load_latest_epoch(self, lineage: str) -> VersionedGraph | None:
+        """Newest verifiable epoch snapshot of a lineage, or ``None``.
+
+        Walks records newest-first; each candidate's arrays are loaded and
+        the stamped digest recomputed — a mismatch (truncated array,
+        tampered manifest, format drift) discards that record and falls
+        back to the next-newest, so a corrupted tail costs epochs, never
+        consistency.  Epoch 0 is never recorded (the caller already holds
+        the base graph), so a ``None`` simply means "start from epoch 0".
+        """
+        for meta in reversed(self.epoch_records(lineage)):
+            path = meta["path"]
+            try:
+                if meta.get("format") != FORMAT_VERSION:
+                    raise _BundleAnomaly("identity_mismatch", "format")
+                indptr = np.asarray(_load_array(path / "indptr.npy"))
+                indices = np.asarray(_load_array(path / "indices.npy"))
+                graph = Graph.from_arrays(indptr, indices)
+                epoch = int(meta["epoch"])
+                expect = stamp_epoch_digest(lineage, epoch, graph.content_digest())
+                if meta.get("digest") != expect:
+                    raise _BundleAnomaly("identity_mismatch", "digest")
+            except _BundleAnomaly as anomaly:
+                obs.add("store.discard", family="dynamic", reason=anomaly.reason)
+                logger.warning(
+                    "discarding epoch record %s: %s; falling back to an older epoch",
+                    path.name, anomaly,
+                )
+                self._discard(path)
+                continue
+            except Exception as exc:
+                obs.add("store.discard", family="dynamic", reason="corrupt_array")
+                logger.warning(
+                    "discarding epoch record %s: %s; falling back to an older epoch",
+                    path.name, exc,
+                )
+                self._discard(path)
+                continue
+            stamped = Graph.from_arrays(
+                graph.indptr, graph.indices, False, digest=meta["digest"]
+            )
+            obs.add("store.hit", family="dynamic")
+            return VersionedGraph(
+                stamped, epoch=epoch, lineage=lineage,
+                parent_digest=meta.get("parent"),
+            )
+        obs.add("store.miss", family="dynamic")
+        return None
 
     # -- maintenance ----------------------------------------------------
     def bundles(self) -> list[BundleInfo]:

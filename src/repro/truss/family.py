@@ -24,6 +24,8 @@ class TrussFamily(HierarchyFamily):
     paper_section = "VI-B"
     description = "maximal subgraphs where every edge closes >= k-2 triangles"
     supports_store = True
+    #: Truss numbers are edge-level; no incremental repair — rebuild on change.
+    supports_incremental = False
 
     def decompose(self, graph, *, backend=None, **params) -> TrussDecomposition:
         return truss_decomposition(graph, backend=backend)

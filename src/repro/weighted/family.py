@@ -71,6 +71,8 @@ class WeightedFamily(HierarchyFamily):
     default_metric = "weighted_average_degree"
     batch_metrics = available_weighted_metrics()
     supports_store = True
+    #: Quantised strengths shift globally with any weight change — rebuild on change.
+    supports_incremental = False
 
     def decompose(
         self, graph, *, backend=None, edge_weights=None, num_levels: int = 64, **params

@@ -125,3 +125,104 @@ class TestReportCommand:
         assert main(["report", "--out", str(out), "--only", "table3"]) == 0
         assert (out / "REPORT.md").exists()
         assert "report written" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def delta_file(tmp_path):
+    path = tmp_path / "delta.txt"
+    path.write_text("0 8\n1 6\n")
+    return str(path)
+
+
+class TestDynamicCommands:
+    def test_apply_without_cache(self, graph_file, delta_file, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["apply", graph_file, "--edges", delta_file]) == 0
+        out = capsys.readouterr().out
+        assert "epoch 1" in out and "+2 -0 edges" in out
+        assert "path=incremental" in out
+        assert "epoch not persisted" in out
+
+    def test_apply_chains_through_cache(self, graph_file, delta_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["apply", graph_file, "--edges", delta_file, "--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert "epoch 1" in first and "1 epoch record(s)" in first
+        # The second apply resumes epoch 1 from the store and deletes the
+        # same edges, chaining to epoch 2 on the incremental path.
+        assert main([
+            "apply", graph_file, "--edges", delta_file, "--delete",
+            "--cache-dir", cache,
+        ]) == 0
+        second = capsys.readouterr().out
+        assert "resuming lineage" in second and "at epoch 1" in second
+        assert "epoch 2" in second and "+0 -2 edges" in second
+        assert "path=incremental" in second
+
+    def test_apply_strict_rejects_noop_edge(self, graph_file, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        dup = tmp_path / "dup.txt"
+        dup.write_text("0 1\n")  # already present in figure2
+        assert main(["apply", graph_file, "--edges", str(dup)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_apply_lenient_drops_noop_edge(self, graph_file, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        dup = tmp_path / "dup.txt"
+        dup.write_text("0 1\n0 8\n")
+        assert main(["apply", graph_file, "--edges", str(dup), "--lenient"]) == 0
+        assert "+1 -0 edges" in capsys.readouterr().out
+
+    def test_epochs_requires_cache(self, graph_file, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["epochs", graph_file]) == 1
+        assert "no cache directory" in capsys.readouterr().err
+
+    def test_epochs_lists_records(self, graph_file, delta_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["epochs", graph_file, "--cache-dir", cache]) == 0
+        assert "no epoch records yet" in capsys.readouterr().out
+        assert main(["apply", graph_file, "--edges", delta_file, "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["epochs", graph_file, "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "epoch 0" in out and "epoch 1" in out
+        assert "latest epoch 1" in out
+
+
+class TestSelectorStrictness:
+    def test_backends_check_available(self, capsys):
+        assert main(["backends", "--check", "numpy"]) == 0
+        assert "numpy: available" in capsys.readouterr().out
+
+    def test_backends_check_unknown(self, capsys):
+        assert main(["backends", "--check", "bogus"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_backends_check_native_disabled(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+        assert main(["backends", "--check", "native"]) == 1
+        err = capsys.readouterr().err
+        assert "requested explicitly" in err and "fall back to numpy" in err
+
+    def test_env_backend_bogus_fails_fast(self, graph_file, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        assert main(["set", graph_file, "-m", "average_degree"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_env_engine_bogus_fails_fast(self, graph_file, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "bogus")
+        assert main(["set", graph_file, "-m", "average_degree"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_explicit_native_when_disabled_fails_fast(self, graph_file, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+        assert main(["decompose", graph_file, "--backend", "native"]) == 1
+        assert "fall back to numpy" in capsys.readouterr().err
+
+    def test_default_resolution_still_degrades(self, graph_file, capsys, monkeypatch):
+        # No explicit request: the documented degrade path stays silent.
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert main(["decompose", graph_file]) == 0
+        assert "kmax" in capsys.readouterr().out

@@ -186,6 +186,25 @@ class TestSharedGraph:
             attached = None
             release()
 
+    def test_epoch_snapshot_pickle_strips_stamped_digest(self, graph):
+        # A VersionedGraph snapshot carries an epoch-stamped digest so
+        # store keys never alias across epochs.  That stamp is an
+        # epoch-local cache: a worker receiving the snapshot through
+        # pickle must see identical arrays but recompute a *content*
+        # digest, not inherit the lineage stamp.
+        from repro.dynamic import GraphDelta, VersionedGraph
+
+        snapshot = VersionedGraph(graph).apply(
+            GraphDelta.from_edges(num_vertices=graph.num_vertices + 1)
+        ).graph
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert np.array_equal(clone.indptr, snapshot.indptr)
+        assert np.array_equal(clone.indices, snapshot.indices)
+        assert clone == snapshot
+        plain = Graph.from_arrays(snapshot.indptr, snapshot.indices, False)
+        assert snapshot.content_digest() != plain.content_digest()
+        assert clone.content_digest() == plain.content_digest()
+
 
 class TestWorker:
     def test_invalid_params_return_empty_payload(self, graph):
