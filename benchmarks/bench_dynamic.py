@@ -7,21 +7,31 @@ graphs and times, per delta:
 
 * ``apply_seconds`` — the localized CSR rebuild producing the next
   epoch's snapshot;
-* ``incremental_seconds`` — :func:`repro.dynamic.incremental_core_numbers`
-  repairing the previous epoch's coreness across the delta;
+* ``edge_seconds`` — :func:`repro.dynamic.incremental_core_numbers`
+  forced onto the per-edge overlay walk (``plan="edge"``; skipped above
+  ``EDGE_PATH_MAX`` changes, where the interpreted walk takes minutes);
+* ``batched_seconds`` — the same repair forced through one
+  ``subcore_repair`` kernel dispatch (``plan="batched"``);
 * ``full_seconds`` — a from-scratch ``peel_coreness`` on the new
   snapshot (what a non-incremental index would pay).
 
-Every repaired coreness is asserted bit-identical to the full peel
-before its timing is trusted.  The ``dynamic.maintain`` path counts
-(incremental vs rebuild, by reason) are stamped into the report through
+Every repaired coreness — per-edge and batched — is asserted
+bit-identical to the full peel before its timing is trusted.  Each row
+also records ``planner_choice``: what the cost model would pick
+unforced, so planner drift shows up in the report diff.  The
+``dynamic.maintain`` path counts are stamped into the report through
 :func:`repro.bench.harness.execution_metadata`'s obs summary plus an
-explicit ``maintain_paths`` block.
+explicit ``maintain_paths`` block, and a ``crossover`` block records the
+interpolated delta size where the batched repair stops beating the full
+peel.
 
-The acceptance gate (enforced in full mode, skipped under ``--quick``):
-on the largest dataset, single-edge deltas must maintain at least
-``GATE_SPEEDUP``x faster than the full rebuild, or the script exits
-non-zero.
+The acceptance gates (enforced in full mode, skipped under ``--quick``),
+all on the largest dataset:
+
+* single-edge deltas must maintain (best path) >= ``GATE_SPEEDUP``x
+  faster than the full rebuild;
+* batched repair must beat the full peel >= ``GATE_BATCHED_100``x at
+  100-edge deltas and >= ``GATE_BATCHED_1000``x at 1000-edge deltas.
 
 Usage::
 
@@ -44,26 +54,34 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from _machine import machine_metadata
 from repro import obs
-from repro.dynamic import GraphDelta, VersionedGraph, incremental_core_numbers
+from repro.dynamic import GraphDelta, VersionedGraph, incremental_core_numbers, plan_maintenance
 from repro.generators.random_graphs import powerlaw_chung_lu
 from repro.kernels import get_backend
 
 DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_dynamic.json"
 
 #: name -> zero-argument factory; ordered by ascending size.  The last
-#: entry is the ~500k-edge graph the acceptance gate is measured on.
+#: entry is the ~500k-edge graph the acceptance gates are measured on.
 SUITE = {
     "cl-100k": lambda: powerlaw_chung_lu(20_000, 10.0, 2.3, seed=7),
     "cl-500k": lambda: powerlaw_chung_lu(100_000, 10.0, 2.3, seed=7),
 }
 QUICK_SUITE = ("cl-100k",)
 
-DELTA_SIZES = (1, 10, 100, 1000)
-QUICK_DELTA_SIZES = (1, 10)
+DELTA_SIZES = (1, 10, 100, 1000, 10000)
+QUICK_DELTA_SIZES = (1, 10, 100)
 
-#: Gate: median single-edge speedup (full peel / incremental maintain)
-#: required on the largest dataset.
+#: Largest delta the per-edge walk is timed on; beyond this the
+#: interpreted overlay traversal takes minutes per delta and the
+#: comparison is meaningless (the planner would never choose it).
+EDGE_PATH_MAX = 1000
+
+#: Gate: single-edge deltas must maintain (best path) at least this many
+#: times faster than the full rebuild on the largest dataset.
 GATE_SPEEDUP = 5.0
+#: Gates on the batched kernel path (full peel / batched repair).
+GATE_BATCHED_100 = 5.0
+GATE_BATCHED_1000 = 2.0
 
 
 def random_delta(rng: np.random.Generator, graph, size: int) -> GraphDelta:
@@ -73,15 +91,14 @@ def random_delta(rng: np.random.Generator, graph, size: int) -> GraphDelta:
     num_insert = size - num_delete
     delete = edges[rng.choice(len(edges), size=num_delete, replace=False)]
     n = graph.num_vertices
-    insert = []
+    insert: set[tuple[int, int]] = set()
+    deleted = set(map(tuple, delete.tolist()))
     while len(insert) < num_insert:
         u, v = int(rng.integers(n)), int(rng.integers(n))
-        if u != v and not graph.has_edge(u, v):
-            insert.append((min(u, v), max(u, v)))
-    # Within-side duplicates collapse in from_edges; re-draw until the
-    # requested size survives canonicalisation.
-    delta = GraphDelta.from_edges(insert, delete)
-    return delta
+        edge = (min(u, v), max(u, v))
+        if u != v and edge not in deleted and not graph.has_edge(u, v):
+            insert.add(edge)
+    return GraphDelta.from_edges(sorted(insert), delete)
 
 
 def bench_dataset(name: str, graph, sizes: tuple[int, ...], repeats: int) -> list[dict]:
@@ -99,11 +116,19 @@ def bench_dataset(name: str, graph, sizes: tuple[int, ...], repeats: int) -> lis
             nxt = vg.apply(delta)
             apply_seconds = time.perf_counter() - start
 
+            edge_seconds = None
+            if size <= EDGE_PATH_MAX:
+                start = time.perf_counter()
+                edge_result = incremental_core_numbers(
+                    vg.graph, core, nxt.applied, new_graph=nxt.graph, plan="edge"
+                )
+                edge_seconds = time.perf_counter() - start
+
             start = time.perf_counter()
             result = incremental_core_numbers(
-                vg.graph, core, nxt.applied, new_graph=nxt.graph
+                vg.graph, core, nxt.applied, new_graph=nxt.graph, plan="batched"
             )
-            incremental_seconds = time.perf_counter() - start
+            batched_seconds = time.perf_counter() - start
 
             start = time.perf_counter()
             full = backend.peel_coreness(nxt.graph)
@@ -111,8 +136,17 @@ def bench_dataset(name: str, graph, sizes: tuple[int, ...], repeats: int) -> lis
 
             if not np.array_equal(result.coreness, full):
                 raise AssertionError(
-                    f"maintained coreness diverged on {name} size={size}"
+                    f"batched coreness diverged on {name} size={size}"
                 )
+            if edge_seconds is not None and not np.array_equal(
+                edge_result.coreness, full
+            ):
+                raise AssertionError(
+                    f"per-edge coreness diverged on {name} size={size}"
+                )
+            choice = plan_maintenance(
+                delta.num_changes, nxt.graph.num_edges, backend_name=backend.name
+            ).choice
             rows.append(
                 {
                     "dataset": name,
@@ -121,37 +155,83 @@ def bench_dataset(name: str, graph, sizes: tuple[int, ...], repeats: int) -> lis
                     "n": nxt.graph.num_vertices,
                     "m": nxt.graph.num_edges,
                     "apply_seconds": apply_seconds,
-                    "incremental_seconds": incremental_seconds,
+                    "edge_seconds": edge_seconds,
+                    "batched_seconds": batched_seconds,
                     "full_seconds": full_seconds,
                     "path": result.path,
                     "reason": result.reason,
+                    "planner_choice": choice,
                     "changed": int(len(result.changed)),
                 }
             )
+            edge_ms = "     skip" if edge_seconds is None else f"{edge_seconds * 1e3:8.2f}ms"
             print(
                 f"  size={size:5d} epoch={nxt.epoch:3d} "
                 f"apply={apply_seconds * 1e3:8.2f}ms "
-                f"maintain={incremental_seconds * 1e3:8.2f}ms "
+                f"edge={edge_ms} "
+                f"batched={batched_seconds * 1e3:8.2f}ms "
                 f"full={full_seconds * 1e3:8.2f}ms "
-                f"({result.path}/{result.reason}, {len(result.changed)} changed)",
+                f"(plan would pick {choice}; {len(result.changed)} changed)",
                 flush=True,
             )
             vg, core = nxt, result.coreness
     return rows
 
 
-def summarise(rows: list[dict]) -> dict:
-    """Median speedup (full / incremental) per (dataset, delta size)."""
+def _median_cells(rows: list[dict], field: str) -> dict[tuple[str, int], float]:
     cells: dict[tuple[str, int], list[float]] = {}
     for row in rows:
-        if row["incremental_seconds"] > 0:
-            key = (row["dataset"], row["delta_size"])
-            cells.setdefault(key, []).append(
-                row["full_seconds"] / row["incremental_seconds"]
-            )
+        if row.get(field) is not None:
+            cells.setdefault((row["dataset"], row["delta_size"]), []).append(row[field])
+    return {key: float(np.median(vals)) for key, vals in cells.items()}
+
+
+def summarise(rows: list[dict]) -> dict:
+    """Median speedups (full / strategy) per (dataset, delta size)."""
+    full = _median_cells(rows, "full_seconds")
+    out: dict[str, dict[str, float]] = {}
+    for field, label in (("edge_seconds", "edge"), ("batched_seconds", "batched")):
+        for key, med in _median_cells(rows, field).items():
+            if med > 0:
+                dataset, size = key
+                out.setdefault(f"{dataset}/size-{size}", {})[label] = round(
+                    full[key] / med, 2
+                )
+    return dict(sorted(out.items()))
+
+
+def crossover(rows: list[dict], dataset: str) -> dict:
+    """Interpolated delta size where batched repair meets the full peel.
+
+    Log-log interpolation between the last size where the median batched
+    time beats the median full peel and the first where it does not;
+    ``null`` bound means the batched path still won at the largest
+    measured size (the crossover lies beyond the sweep).
+    """
+    batched = _median_cells(rows, "batched_seconds")
+    full = _median_cells(rows, "full_seconds")
+    sizes = sorted(size for (ds, size) in batched if ds == dataset)
+    last_win, first_loss = None, None
+    for size in sizes:
+        if batched[(dataset, size)] < full[(dataset, size)]:
+            last_win = size
+        elif last_win is not None and first_loss is None:
+            first_loss = size
+    estimate = None
+    if last_win is not None and first_loss is not None:
+        lo, hi = (dataset, last_win), (dataset, first_loss)
+        # Interpolate log(batched/full) == 0 between the two sizes.
+        flo = np.log(batched[lo] / full[lo])
+        fhi = np.log(batched[hi] / full[hi])
+        t = -flo / (fhi - flo)
+        estimate = int(round(np.exp(
+            np.log(last_win) + t * (np.log(first_loss) - np.log(last_win))
+        )))
     return {
-        f"{dataset}/size-{size}": round(float(np.median(ratios)), 2)
-        for (dataset, size), ratios in sorted(cells.items())
+        "dataset": dataset,
+        "last_winning_size": last_win,
+        "first_losing_size": first_loss,
+        "estimated_crossover_edges": estimate,
     }
 
 
@@ -167,19 +247,38 @@ def maintain_path_counts() -> dict:
 
 
 def check_gate(report: dict, largest: str) -> bool:
-    """The bench gate: incremental >= 5x full rebuild on single-edge deltas."""
-    ratio = report["speedups"].get(f"{largest}/size-1")
-    if ratio is None:
+    """Enforce the maintain-vs-rebuild gates on the largest dataset."""
+    speedups = report["speedups"]
+    ok = True
+
+    cell = speedups.get(f"{largest}/size-1", {})
+    best = max((v for v in cell.values()), default=None)
+    if best is None:
         print(f"GATE FAILED: no single-edge measurement for {largest}")
-        return False
-    print(f"gate: single-edge maintain-vs-rebuild on {largest}: {ratio:.1f}x")
-    if ratio < GATE_SPEEDUP:
-        print(
-            f"GATE FAILED: incremental < {GATE_SPEEDUP}x full rebuild "
-            f"for single-edge deltas on {largest}"
-        )
-        return False
-    return True
+        ok = False
+    else:
+        print(f"gate: single-edge maintain-vs-rebuild on {largest}: {best:.1f}x")
+        if best < GATE_SPEEDUP:
+            print(
+                f"GATE FAILED: maintain < {GATE_SPEEDUP}x full rebuild "
+                f"for single-edge deltas on {largest}"
+            )
+            ok = False
+
+    for size, floor in ((100, GATE_BATCHED_100), (1000, GATE_BATCHED_1000)):
+        ratio = speedups.get(f"{largest}/size-{size}", {}).get("batched")
+        if ratio is None:
+            print(f"GATE FAILED: no batched measurement at size {size} on {largest}")
+            ok = False
+            continue
+        print(f"gate: batched-vs-rebuild at {size}-edge deltas on {largest}: {ratio:.1f}x")
+        if ratio < floor:
+            print(
+                f"GATE FAILED: batched < {floor}x full rebuild "
+                f"at {size}-edge deltas on {largest}"
+            )
+            ok = False
+    return ok
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -212,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
     report = {
         "rows": rows,
         "speedups": summarise(rows),
+        "crossover": crossover(rows, names[-1]),
         "maintain_paths": maintain_path_counts(),
         "output": {"quick": args.quick, "repeats": repeats, "delta_sizes": list(sizes)},
         "execution": execution_metadata(jobs=1, cache_dir=None),

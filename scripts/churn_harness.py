@@ -16,6 +16,13 @@ Run from the repository root::
 
     PYTHONPATH=src python scripts/churn_harness.py
     PYTHONPATH=src python scripts/churn_harness.py --steps 100 --seed 3
+    PYTHONPATH=src python scripts/churn_harness.py --delta-sizes 1,10,100
+
+``--delta-sizes`` cycles the listed exact delta sizes across epochs (one
+size per epoch, round-robin) instead of random sizes up to
+``--max-changes``, and every epoch prints the executed maintenance path
+— so a planner-crossover regression reproduces from the command line
+with nothing but a seed and a size list.
 """
 
 from __future__ import annotations
@@ -39,27 +46,26 @@ METRICS = ("average_degree", "internal_density")
 FAMILIES = ("core", "truss")
 
 
-def random_delta(rng: random.Random, graph, max_changes: int) -> GraphDelta:
+def random_delta(rng: random.Random, graph, num_changes: int) -> GraphDelta:
     edges = set(map(tuple, graph.edge_array().tolist()))
     n = graph.num_vertices
-    ins, dele, touched = [], [], set()
-    for _ in range(rng.randrange(1, max_changes + 1)):
-        pool = sorted(edges - touched)
+    pool = sorted(edges)
+    rng.shuffle(pool)
+    ins, dele = [], set()
+    for _ in range(num_changes):
         if pool and rng.random() < 0.45:
-            edge = rng.choice(pool)
+            edge = pool.pop()
             edges.discard(edge)
-            touched.add(edge)
-            dele.append(edge)
+            dele.add(edge)
         else:
             for _ in range(200):
                 u, v = rng.randrange(n), rng.randrange(n)
                 edge = (min(u, v), max(u, v))
-                if u != v and edge not in edges and edge not in touched:
+                if u != v and edge not in edges and edge not in dele:
                     edges.add(edge)
-                    touched.add(edge)
                     ins.append(edge)
                     break
-    return GraphDelta.from_edges(ins, dele)
+    return GraphDelta.from_edges(ins, sorted(dele))
 
 
 def verify_epoch(index: BestKIndex, label: str) -> list[str]:
@@ -95,7 +101,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--max-changes", type=int, default=6, help="max edge changes per delta"
     )
+    parser.add_argument(
+        "--delta-sizes", default=None, metavar="N,N,...",
+        help="cycle these exact delta sizes across epochs "
+             "(overrides --max-changes randomisation)",
+    )
+    parser.add_argument(
+        "--plan", default=None, choices=("auto", "edge", "batched", "rebuild"),
+        help="force the maintenance strategy (default: cost-model planner)",
+    )
     args = parser.parse_args(argv)
+    sizes = (
+        [int(s) for s in args.delta_sizes.split(",") if s.strip()]
+        if args.delta_sizes else None
+    )
 
     rng = random.Random(args.seed)
     graph = gnm_random_graph(args.vertices, args.edges, seed=args.seed)
@@ -104,11 +123,19 @@ def main(argv: list[str] | None = None) -> int:
         store = ArtifactStore(tmp)
         index = BestKIndex(graph, store=store)
         index.best_set(METRICS[0])  # core baseline for incremental repair
-        paths = {"incremental": 0, "rebuild": 0, "none": 0}
+        paths = {"incremental": 0, "batched": 0, "rebuild": 0, "none": 0}
         for step in range(args.steps):
-            delta = random_delta(rng, index.graph, args.max_changes)
-            result = index.apply(delta)
+            size = (
+                sizes[step % len(sizes)] if sizes
+                else rng.randrange(1, args.max_changes + 1)
+            )
+            delta = random_delta(rng, index.graph, size)
+            result = index.apply(delta, plan=args.plan)
             paths[result.path] = paths.get(result.path, 0) + 1
+            print(
+                f"  epoch {result.epoch}: +{result.inserted} -{result.deleted} "
+                f"path={result.path} reason={result.reason}"
+            )
             failures.extend(verify_epoch(index, f"epoch {result.epoch}"))
             if failures:
                 break

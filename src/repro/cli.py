@@ -197,11 +197,17 @@ def build_parser() -> argparse.ArgumentParser:
     graph_arg(p)
     p.add_argument(
         "--edges", required=True, metavar="FILE",
-        help="file of whitespace-separated 'u v' pairs (gzip ok, # comments)",
+        help="file of whitespace-separated 'u v' pairs "
+             "(gzip ok, # comments, '-' reads stdin)",
     )
     p.add_argument(
         "--delete", action="store_true",
         help="delete the edges instead of inserting them",
+    )
+    p.add_argument(
+        "--plan", default=None, choices=("auto", "edge", "batched", "rebuild"),
+        help="force the core-maintenance strategy "
+             "(default: cost-model planner; env REPRO_DYNAMIC_PLAN)",
     )
     p.add_argument(
         "--num-vertices", type=int, default=None,
@@ -467,7 +473,7 @@ def _cmd_apply(args) -> int:
         # it incrementally and re-persists it under the new epoch's key,
         # so chained invocations never re-peel.
         index.family_decomposition("core")
-        result = index.apply(delta, strict=not args.lenient)
+        result = index.apply(delta, strict=not args.lenient, plan=args.plan)
     graph = result.graph
     print(
         f"epoch {result.epoch}: n={graph.num_vertices:,} "

@@ -13,8 +13,12 @@ next one*:
     store identity stays correct by construction.
 :func:`incremental_core_numbers`
     Traversal-style core maintenance: repair coreness inside the touched
-    subcores, falling back to a full kernel peel when locality cannot
-    pay off (classified on the ``dynamic.maintain`` obs counter).
+    subcores — per edge over a python overlay, or batched through the
+    ``subcore_repair`` kernel — falling back to a full kernel peel when
+    locality cannot pay off (classified on the ``dynamic.maintain`` obs
+    counter).  A measured cost model (:func:`plan_maintenance`) picks the
+    strategy per delta; ``REPRO_DYNAMIC_PLAN`` or ``plan=`` overrides it,
+    and the verdict lands on ``dynamic.plan{choice,reason}``.
 
 Layering: this package sits beside :mod:`repro.parallel` — it may import
 ``graph``, ``errors``, ``kernels`` and ``obs``, and must never import
@@ -28,13 +32,25 @@ from __future__ import annotations
 
 from .delta import GraphDelta, edges_from_file
 from .maintain import MaintainResult, incremental_core_numbers
+from .planner import (
+    PLAN_CHOICES,
+    PLAN_ENV_VAR,
+    MaintenancePlan,
+    plan_maintenance,
+    resolve_plan_override,
+)
 from .versioned import VersionedGraph, stamp_epoch_digest
 
 __all__ = [
+    "PLAN_CHOICES",
+    "PLAN_ENV_VAR",
     "GraphDelta",
     "MaintainResult",
+    "MaintenancePlan",
     "VersionedGraph",
     "edges_from_file",
     "incremental_core_numbers",
+    "plan_maintenance",
+    "resolve_plan_override",
     "stamp_epoch_digest",
 ]

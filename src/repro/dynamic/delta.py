@@ -18,6 +18,7 @@ object be replayed against any snapshot of a lineage.
 from __future__ import annotations
 
 import gzip
+import sys
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -120,22 +121,30 @@ def edges_from_file(path: str | Path) -> np.ndarray:
     """Integer edge pairs from a whitespace-separated file (gzip ok).
 
     One ``u v`` pair per line; blank lines and ``#`` comments are skipped.
-    Returns a raw ``(k, 2)`` int64 array — validation/canonicalisation
-    happens in :meth:`GraphDelta.from_edges`.
+    ``"-"`` reads from standard input, so a delta can be piped straight
+    into ``bestk apply --edges -``.  Returns a raw ``(k, 2)`` int64 array
+    — validation/canonicalisation happens in
+    :meth:`GraphDelta.from_edges`.
     """
+    if str(path) == "-":
+        return _parse_edges(sys.stdin, "<stdin>")
     path = Path(path)
     opener = gzip.open if path.suffix == ".gz" else open
-    pairs: list[tuple[int, int]] = []
     with opener(path, "rt", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, 1):
-            text = line.split("#", 1)[0].strip()
-            if not text:
-                continue
-            parts = text.split()
-            if len(parts) != 2:
-                raise GraphDeltaError(f"{path}:{lineno}: expected 'u v', got {text!r}")
-            try:
-                pairs.append((int(parts[0]), int(parts[1])))
-            except ValueError as exc:
-                raise GraphDeltaError(f"{path}:{lineno}: non-integer endpoint") from exc
+        return _parse_edges(fh, str(path))
+
+
+def _parse_edges(fh, label: str) -> np.ndarray:
+    pairs: list[tuple[int, int]] = []
+    for lineno, line in enumerate(fh, 1):
+        text = line.split("#", 1)[0].strip()
+        if not text:
+            continue
+        parts = text.split()
+        if len(parts) != 2:
+            raise GraphDeltaError(f"{label}:{lineno}: expected 'u v', got {text!r}")
+        try:
+            pairs.append((int(parts[0]), int(parts[1])))
+        except ValueError as exc:
+            raise GraphDeltaError(f"{label}:{lineno}: non-integer endpoint") from exc
     return np.asarray(pairs, dtype=np.int64).reshape(-1, 2)

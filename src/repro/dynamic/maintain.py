@@ -14,16 +14,25 @@ of the delta is therefore a local peel:
 * delete — pessimistic: members whose support (neighbours of coreness
   ``>= K``) drops below ``K`` fall to ``K - 1``, cascading.
 
-When locality cannot pay off — no baseline coreness, a delta touching a
-large fraction of the graph, or a traversal that blows past
-``subcore_limit`` — the function falls back to one full peel of the new
-snapshot via the kernel backend.  Every call lands on the
-``dynamic.maintain{path,reason}`` counter so the split is observable.
+The per-edge walk is one of three strategies a cost-model planner
+(:mod:`repro.dynamic.planner`) chooses between per delta:
 
-Adjacency during maintenance is a copy-on-write overlay on the *old*
-snapshot's CSR: only rows actually edited by the delta are promoted to
-python sets, everything else reads the frozen arrays in place.  This
-keeps per-edge cost proportional to the subcore neighbourhood, not n.
+* ``edge`` — the walk above over a copy-on-write python overlay on the
+  old snapshot's CSR (only rows the delta edits are promoted to sets);
+  zero setup, interpreted per-arc cost, ideal for one or two edges.
+* ``batched`` — one :meth:`~repro.kernels.base.KernelBackend.subcore_repair`
+  kernel dispatch: the same repairs over raw arrays (old CSR + arc-active
+  mask + a tiny extra CSR of inserted arcs), with deletes repaired all at
+  once by an exact h-index descent and inserts replayed per edge inside
+  the compiled loop.  Fixed setup, native per-arc cost — the medium-delta
+  path.
+* ``rebuild`` — a full peel of the new snapshot via the kernel backend,
+  forced when there is no baseline, when the delta is a large fraction of
+  the graph, or when a subcore traversal blows past ``subcore_limit``.
+
+The strategy taken lands on ``dynamic.maintain{path,reason}``; the
+planner's verdict (which may differ when a batched run bails to a
+rebuild) on ``dynamic.plan{choice,reason}``.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ from .. import obs
 from ..graph.csr import Graph
 from ..kernels import get_backend
 from .delta import GraphDelta
+from .planner import plan_maintenance, resolve_plan_override
 from .versioned import VersionedGraph
 
 __all__ = ["MaintainResult", "incremental_core_numbers"]
@@ -50,11 +60,14 @@ class MaintainResult:
     coreness:
         int64 coreness array for the *new* snapshot (length = new n).
     path:
-        ``"incremental"`` when the subcore walk repaired the baseline,
-        ``"rebuild"`` when a full peel of the new snapshot ran.
+        ``"incremental"`` when the per-edge subcore walk repaired the
+        baseline, ``"batched"`` when one ``subcore_repair`` kernel
+        dispatch did, ``"rebuild"`` when a full peel of the new snapshot
+        ran.
     reason:
-        ``"ok"`` for incremental; for rebuilds one of ``"no_baseline"``,
-        ``"large_delta"``, ``"subcore_limit"``.
+        ``"ok"`` for incremental/batched; for rebuilds one of
+        ``"no_baseline"``, ``"large_delta"``, ``"subcore_limit"``,
+        ``"planner"`` (the cost model or an override chose the peel).
     changed:
         Sorted vertex ids whose coreness differs from the (zero-padded)
         baseline; every vertex when there was no baseline.
@@ -106,6 +119,7 @@ def incremental_core_numbers(
     new_graph: Graph | None = None,
     backend: str | None = None,
     subcore_limit: int | None = None,
+    plan: str | None = None,
 ) -> MaintainResult:
     """Coreness of ``old_graph`` + ``delta``, repaired locally when possible.
 
@@ -116,20 +130,37 @@ def incremental_core_numbers(
     spare the rebuild path a second CSR merge; it is also used to size
     the result.  ``subcore_limit`` caps the vertices any single subcore
     traversal may visit before bailing to a full peel (default
-    ``max(256, n_new // 8)``).
+    ``max(256, n_new // 8)``).  ``plan`` forces a strategy
+    (``edge``/``batched``/``rebuild``; ``auto``/``None`` defers to the
+    cost model, after the ``REPRO_DYNAMIC_PLAN`` environment override).
     """
     n_new = delta.min_num_vertices(old_graph.num_vertices) if new_graph is None else new_graph.num_vertices
     if subcore_limit is None:
         subcore_limit = max(256, n_new // 8)
-
-    if old_coreness is None:
-        return _rebuild(old_graph, old_coreness, delta, new_graph, backend, "no_baseline")
     m_new = (
         new_graph.num_edges if new_graph is not None
         else old_graph.num_edges + len(delta.insert) - len(delta.delete)
     )
-    if delta.num_changes > max(4, m_new // 4):
-        return _rebuild(old_graph, old_coreness, delta, new_graph, backend, "large_delta")
+
+    decision = plan_maintenance(
+        delta.num_changes, m_new,
+        backend_name=get_backend(backend).name,
+        override=resolve_plan_override(plan),
+        has_baseline=old_coreness is not None,
+    )
+    obs.add("dynamic.plan", choice=decision.choice, reason=decision.reason)
+
+    if decision.choice == "rebuild":
+        reason = decision.reason if decision.reason in ("no_baseline", "large_delta") else "planner"
+        return _rebuild(old_graph, old_coreness, delta, new_graph, backend, reason)
+
+    if decision.choice == "batched":
+        core = _batched_repair(old_graph, old_coreness, delta, backend, n_new, subcore_limit)
+        if core is None:
+            return _rebuild(old_graph, old_coreness, delta, new_graph, backend, "subcore_limit")
+        changed = _changed_vertices(core, old_coreness, n_new)
+        obs.add("dynamic.maintain", path="batched", reason="ok")
+        return MaintainResult(core, "batched", "ok", changed)
 
     core = np.zeros(n_new, dtype=np.int64)
     core[: len(old_coreness)] = old_coreness
@@ -145,11 +176,72 @@ def incremental_core_numbers(
     except _SubcoreLimit:
         return _rebuild(old_graph, old_coreness, delta, new_graph, backend, "subcore_limit")
 
-    baseline = np.zeros(n_new, dtype=np.int64)
-    baseline[: len(old_coreness)] = old_coreness
-    changed = np.flatnonzero(core != baseline)
+    changed = _changed_vertices(core, old_coreness, n_new)
     obs.add("dynamic.maintain", path="incremental", reason="ok")
     return MaintainResult(core, "incremental", "ok", changed)
+
+
+def _changed_vertices(core: np.ndarray, old_coreness: np.ndarray, n_new: int) -> np.ndarray:
+    baseline = np.zeros(n_new, dtype=np.int64)
+    baseline[: len(old_coreness)] = old_coreness
+    return np.flatnonzero(core != baseline)
+
+
+def _batched_repair(
+    old_graph: Graph,
+    old_coreness: np.ndarray,
+    delta: GraphDelta,
+    backend: str | None,
+    n_new: int,
+    subcore_limit: int,
+) -> np.ndarray | None:
+    """One ``subcore_repair`` kernel dispatch over the whole delta.
+
+    Builds the kernel's two-part working adjacency without any O(m) CSR
+    merge: the old snapshot's arrays plus a fresh all-ones arc mask, and
+    an extra CSR holding only the delta's inserted arcs (initially
+    inactive — each insert op activates its own arcs as it is replayed).
+    Returns the repaired coreness, or ``None`` when the kernel bailed on
+    ``subcore_limit`` (the partial arrays are discarded).
+    """
+    indptr = old_graph.indptr
+    n_old = old_graph.num_vertices
+    if n_new > n_old:
+        pad = np.full(n_new - n_old, indptr[-1] if len(indptr) else 0, dtype=np.int64)
+        indptr = np.concatenate([indptr, pad])
+    core = np.zeros(n_new, dtype=np.int64)
+    core[: len(old_coreness)] = old_coreness
+
+    insert, delete = delta.insert, delta.delete
+    if len(insert):
+        ends = np.concatenate([insert[:, 0], insert[:, 1]])
+        nbrs = np.concatenate([insert[:, 1], insert[:, 0]])
+        order = np.lexsort((nbrs, ends))
+        xindices = np.ascontiguousarray(nbrs[order])
+        xptr = np.zeros(n_new + 1, dtype=np.int64)
+        np.cumsum(np.bincount(ends, minlength=n_new), out=xptr[1:])
+        # Replay inserts lowest starting k-level first: low-level subcores
+        # are the small ones, and early repairs can only raise later roots.
+        levels = np.minimum(core[insert[:, 0]], core[insert[:, 1]])
+        insert = insert[np.argsort(levels, kind="stable")]
+    else:
+        xindices = np.empty(0, dtype=np.int64)
+        xptr = np.zeros(n_new + 1, dtype=np.int64)
+
+    active = np.ones(len(old_graph.indices), dtype=np.uint8)
+    xactive = np.zeros(len(xindices), dtype=np.uint8)
+    ops_u = np.ascontiguousarray(np.concatenate([delete[:, 0], insert[:, 0]]))
+    ops_v = np.ascontiguousarray(np.concatenate([delete[:, 1], insert[:, 1]]))
+    ops_kind = np.concatenate([
+        np.zeros(len(delete), dtype=np.int64), np.ones(len(insert), dtype=np.int64),
+    ])
+    applied = get_backend(backend).subcore_repair(
+        indptr, old_graph.indices, active, xptr, xindices, xactive,
+        core, ops_u, ops_v, ops_kind, np.int64(subcore_limit),
+    )
+    if int(applied) < len(ops_u):
+        return None
+    return core
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,158 @@
+"""Cost-model selection of the maintenance strategy for one delta.
+
+:func:`incremental_core_numbers` has three ways to produce the next
+epoch's coreness, with very different cost shapes:
+
+``edge``
+    The per-edge subcore walk over the copy-on-write python overlay —
+    unbeatable for one or two edges (no array setup at all), but its
+    per-change cost is the full traversal of every touched subcore in
+    interpreted python.
+``batched``
+    One :meth:`~repro.kernels.base.KernelBackend.subcore_repair` kernel
+    dispatch over raw CSR arrays — pays a fixed setup (an arc-active
+    mask over the old CSR plus a tiny extra CSR of inserted arcs), then
+    repairs each change at compiled-loop speed.
+``rebuild``
+    A cold ``peel_coreness`` of the new snapshot — O(m), independent of
+    the delta size, and the only option without a baseline.
+
+:func:`plan_maintenance` picks between them from a measured cost model:
+every candidate's cost is estimated as ``fixed + work * seconds_per_arc``
+with coefficients calibrated on the reference ~500k-edge Chung–Lu graph
+by ``benchmarks/bench_dynamic.py`` (the bench records the measured
+crossovers next to the model in ``BENCH_dynamic.json``).  The estimated
+work unit is the *affected-region arc count*: measured subcore
+traversals on the calibration graph scan about ``m / 280`` arcs per
+changed edge, floored at 64 for small graphs.
+
+The choice is observable on the ``dynamic.plan{choice=,reason=}``
+counter and overridable — the ``plan=`` argument (CLI ``--plan``) beats
+the ``REPRO_DYNAMIC_PLAN`` environment variable; both accept
+``auto``/``edge``/``batched``/``rebuild``.  Overrides skip the
+large-delta guard (the caller asked for that path), but never the
+no-baseline guard: repairing nothing is not an option.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PLAN_CHOICES",
+    "PLAN_ENV_VAR",
+    "MaintenancePlan",
+    "estimated_region_arcs",
+    "plan_maintenance",
+    "resolve_plan_override",
+]
+
+#: Environment override consulted by :func:`resolve_plan_override`.
+PLAN_ENV_VAR = "REPRO_DYNAMIC_PLAN"
+
+#: Accepted plan names (``auto`` defers to the cost model).
+PLAN_CHOICES = ("auto", "edge", "batched", "rebuild")
+
+_log = logging.getLogger("repro.dynamic.planner")
+
+# Measured coefficients (seconds), calibrated against the cl-500k rows
+# of benchmarks/bench_dynamic.py (native backend; see BENCH_dynamic.json
+# for the raw medians).  Region arcs are walked once per pass; the
+# per-arc figures fold the pass count in.  The fit reproduces the
+# measured crossovers: edge -> batched near 2 changes, batched ->
+# rebuild near ~3.6k changes on the ~500k-edge graph.
+_EDGE_SECONDS_PER_ARC = 8e-7         # python overlay traversal
+_EDGE_SECONDS_PER_CHANGE = 2e-5      # dict/set bookkeeping per edge
+_BATCHED_FIXED_SECONDS = 2.5e-4      # op arrays + extra-CSR assembly
+_BATCHED_SETUP_SECONDS_PER_ARC = 2e-9   # arc-active mask + scratch
+_BATCHED_SECONDS_PER_ARC = {"native": 3e-9, "numpy": 2.5e-7, "python": 2.5e-6}
+_REBUILD_FIXED_SECONDS = 3e-4        # peel dispatch + round overhead
+_REBUILD_SECONDS_PER_ARC = {"native": 2e-8, "numpy": 5e-8, "python": 1.2e-6}
+
+
+@dataclass(frozen=True)
+class MaintenancePlan:
+    """The planner's verdict for one delta.
+
+    ``choice`` is ``edge``/``batched``/``rebuild``; ``reason`` is
+    ``cost_model`` (the estimates decided), ``override`` (caller or
+    environment forced the choice), ``no_baseline`` or ``large_delta``
+    (guards forced a rebuild).  ``estimates`` holds the modelled seconds
+    per candidate, for diagnostics and ``bestk stats``.
+    """
+
+    choice: str
+    reason: str
+    estimates: dict[str, float] = field(default_factory=dict)
+
+
+def resolve_plan_override(explicit: str | None = None) -> str | None:
+    """Normalise the override chain: explicit argument beats environment.
+
+    Returns ``None`` when the plan is left to the cost model.  An invalid
+    explicit value raises :class:`ValueError`; an invalid environment
+    value is ignored with a warning (a bad env var must not break apply).
+    """
+    if explicit is not None:
+        value = explicit.strip().lower()
+        if value not in PLAN_CHOICES:
+            raise ValueError(
+                f"unknown maintenance plan {explicit!r}; expected one of {PLAN_CHOICES}"
+            )
+        return None if value == "auto" else value
+    env = os.environ.get(PLAN_ENV_VAR, "").strip().lower()
+    if not env or env == "auto":
+        return None
+    if env not in PLAN_CHOICES:
+        _log.warning("%s=%r is not one of %s; ignoring", PLAN_ENV_VAR, env, PLAN_CHOICES)
+        return None
+    return env
+
+
+def estimated_region_arcs(num_edges: int) -> int:
+    """Modelled adjacency arcs a single change's repair traverses."""
+    return int(min(2 * num_edges, max(64, num_edges // 280)))
+
+
+def cost_estimates(num_changes: int, num_edges: int, backend_name: str) -> dict[str, float]:
+    """Modelled seconds per strategy for a ``num_changes``-edge delta."""
+    region = estimated_region_arcs(num_edges)
+    arcs = 2 * num_edges
+    batched_per_arc = _BATCHED_SECONDS_PER_ARC.get(backend_name, _BATCHED_SECONDS_PER_ARC["numpy"])
+    rebuild_per_arc = _REBUILD_SECONDS_PER_ARC.get(backend_name, _REBUILD_SECONDS_PER_ARC["numpy"])
+    return {
+        "edge": num_changes * (region * _EDGE_SECONDS_PER_ARC + _EDGE_SECONDS_PER_CHANGE),
+        "batched": (
+            _BATCHED_FIXED_SECONDS
+            + arcs * _BATCHED_SETUP_SECONDS_PER_ARC
+            + num_changes * region * batched_per_arc
+        ),
+        "rebuild": _REBUILD_FIXED_SECONDS + arcs * rebuild_per_arc,
+    }
+
+
+def plan_maintenance(
+    num_changes: int,
+    num_edges: int,
+    *,
+    backend_name: str = "numpy",
+    override: str | None = None,
+    has_baseline: bool = True,
+) -> MaintenancePlan:
+    """Choose the maintenance strategy for one delta.
+
+    ``num_edges`` is the *new* snapshot's edge count (the quantity the
+    rebuild pays for); ``override`` is a pre-resolved plan name from
+    :func:`resolve_plan_override` or ``None`` for the cost model.
+    """
+    estimates = cost_estimates(num_changes, num_edges, backend_name)
+    if not has_baseline:
+        return MaintenancePlan("rebuild", "no_baseline", estimates)
+    if override is not None:
+        return MaintenancePlan(override, "override", estimates)
+    if num_changes > max(4, num_edges // 4):
+        return MaintenancePlan("rebuild", "large_delta", estimates)
+    choice = min(estimates, key=estimates.get)
+    return MaintenancePlan(choice, "cost_model", estimates)

@@ -876,7 +876,9 @@ class BestKIndex:
             self._versioned = VersionedGraph(self.graph)
         return self._versioned
 
-    def apply(self, delta: GraphDelta, *, strict: bool = True) -> ApplyResult:
+    def apply(
+        self, delta: GraphDelta, *, strict: bool = True, plan: str | None = None,
+    ) -> ApplyResult:
         """Advance the index to the next epoch with scoped invalidation.
 
         The snapshot moves forward via
@@ -892,7 +894,11 @@ class BestKIndex:
           :func:`~repro.dynamic.incremental_core_numbers` (the repaired
           coreness rebuilds the decomposition deterministically), so the
           peel never reruns even though downstream core artifacts
-          (orderings, totals, forest) rebuild lazily;
+          (orderings, totals, forest) rebuild lazily — whether the repair
+          walks per edge, runs the batched ``subcore_repair`` kernel, or
+          re-peels is decided by the cost-model planner
+          (:func:`~repro.dynamic.plan_maintenance`), forceable via
+          ``plan=`` or ``REPRO_DYNAMIC_PLAN``;
         * **invalidated** — rebuild-on-change families (truss, weighted,
           ecc) drop their artifacts and rebuild on next query.
 
@@ -924,7 +930,7 @@ class BestKIndex:
             if not noop and core_fam.supports_incremental and old_decomp is not None:
                 maintained = incremental_core_numbers(
                     vg.graph, old_decomp.coreness, eff,
-                    new_graph=new_vg.graph, backend=self.backend,
+                    new_graph=new_vg.graph, backend=self.backend, plan=plan,
                 )
             self._versioned = new_vg
             self.graph = new_vg.graph

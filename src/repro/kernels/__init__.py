@@ -85,6 +85,7 @@ KERNEL_METHODS = (
     "triplet_group_deltas",
     "connected_components",
     "vertex_strengths",
+    "subcore_repair",
 )
 
 

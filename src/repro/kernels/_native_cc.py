@@ -224,10 +224,201 @@ void repro_vertex_strengths(int64_t n, const int64_t *indptr,
         strength[v] = s;
     }
 }
+
+/* Batched incremental core maintenance: deletes by chaotic h-index
+ * descent, inserts by per-edge optimistic subcore peels, over the old CSR
+ * (arc-active mask) plus an extra CSR of the delta's inserted arcs.
+ * Mutates core / active / xactive in place and returns the number of ops
+ * applied; a short count means an insert traversal exceeded `limit`.
+ * stamp / removed must arrive filled with -1, inq with 0, counts (size
+ * max_deg + 2) with 0; support / members / stack are length-n scratch. */
+int64_t repro_subcore_repair(int64_t n, const int64_t *indptr,
+                             const int64_t *indices, int8_t *active,
+                             const int64_t *xptr, const int64_t *xindices,
+                             int8_t *xactive, int64_t *core,
+                             int64_t nops, const int64_t *ops_u,
+                             const int64_t *ops_v, const int64_t *ops_kind,
+                             int64_t limit, int64_t *stamp, int64_t *removed,
+                             int64_t *support, int64_t *members,
+                             int64_t *stack, int8_t *inq, int64_t *counts) {
+    (void)n;
+    int64_t top = 0;
+    for (int64_t i = 0; i < nops; i++) {
+        if (ops_kind[i] != 0) continue;
+        int64_t u = ops_u[i], v = ops_v[i];
+        int64_t lo = indptr[u], hi = indptr[u + 1];
+        while (lo < hi) {
+            int64_t mid = (lo + hi) / 2;
+            if (indices[mid] < v) lo = mid + 1; else hi = mid;
+        }
+        if (lo < indptr[u + 1] && indices[lo] == v) active[lo] = 0;
+        lo = indptr[v]; hi = indptr[v + 1];
+        while (lo < hi) {
+            int64_t mid = (lo + hi) / 2;
+            if (indices[mid] < u) lo = mid + 1; else hi = mid;
+        }
+        if (lo < indptr[v + 1] && indices[lo] == u) active[lo] = 0;
+        if (inq[u] == 0) { inq[u] = 1; stack[top++] = u; }
+        if (inq[v] == 0) { inq[v] = 1; stack[top++] = v; }
+    }
+    while (top > 0) {
+        int64_t w = stack[--top];
+        inq[w] = 0;
+        int64_t cw = core[w];
+        if (cw <= 0) continue;
+        for (int64_t j = indptr[w]; j < indptr[w + 1]; j++) {
+            if (active[j]) {
+                int64_t val = core[indices[j]];
+                if (val > cw) val = cw;
+                if (val > 0) counts[val] += 1;
+            }
+        }
+        for (int64_t j = xptr[w]; j < xptr[w + 1]; j++) {
+            if (xactive[j]) {
+                int64_t val = core[xindices[j]];
+                if (val > cw) val = cw;
+                if (val > 0) counts[val] += 1;
+            }
+        }
+        int64_t h = 0, acc = 0;
+        for (int64_t x = cw; x > 0; x--) {
+            acc += counts[x];
+            if (acc >= x) { h = x; break; }
+        }
+        for (int64_t j = indptr[w]; j < indptr[w + 1]; j++) {
+            if (active[j]) {
+                int64_t val = core[indices[j]];
+                if (val > cw) val = cw;
+                if (val > 0) counts[val] = 0;
+            }
+        }
+        for (int64_t j = xptr[w]; j < xptr[w + 1]; j++) {
+            if (xactive[j]) {
+                int64_t val = core[xindices[j]];
+                if (val > cw) val = cw;
+                if (val > 0) counts[val] = 0;
+            }
+        }
+        if (h < cw) {
+            core[w] = h;
+            for (int64_t j = indptr[w]; j < indptr[w + 1]; j++) {
+                if (active[j]) {
+                    int64_t x2 = indices[j];
+                    if (core[x2] > h && core[x2] <= cw && inq[x2] == 0) { inq[x2] = 1; stack[top++] = x2; }
+                }
+            }
+            for (int64_t j = xptr[w]; j < xptr[w + 1]; j++) {
+                if (xactive[j]) {
+                    int64_t x2 = xindices[j];
+                    if (core[x2] > h && core[x2] <= cw && inq[x2] == 0) { inq[x2] = 1; stack[top++] = x2; }
+                }
+            }
+        }
+    }
+    for (int64_t i = 0; i < nops; i++) {
+        if (ops_kind[i] != 1) continue;
+        int64_t u = ops_u[i], v = ops_v[i];
+        int64_t lo = xptr[u], hi = xptr[u + 1];
+        while (lo < hi) {
+            int64_t mid = (lo + hi) / 2;
+            if (xindices[mid] < v) lo = mid + 1; else hi = mid;
+        }
+        if (lo < xptr[u + 1] && xindices[lo] == v) xactive[lo] = 1;
+        lo = xptr[v]; hi = xptr[v + 1];
+        while (lo < hi) {
+            int64_t mid = (lo + hi) / 2;
+            if (xindices[mid] < u) lo = mid + 1; else hi = mid;
+        }
+        if (lo < xptr[v + 1] && xindices[lo] == u) xactive[lo] = 1;
+        int64_t cu = core[u], cv = core[v];
+        int64_t level = cu < cv ? cu : cv;
+        int64_t root = cu <= cv ? u : v;
+        int64_t count = 0;
+        if (core[root] == level) {
+            stamp[root] = i;
+            members[0] = root;
+            count = 1;
+            int64_t head = 0;
+            while (head < count) {
+                int64_t w = members[head++];
+                for (int64_t j = indptr[w]; j < indptr[w + 1]; j++) {
+                    if (active[j]) {
+                        int64_t x2 = indices[j];
+                        if (core[x2] == level && stamp[x2] != i) {
+                            stamp[x2] = i;
+                            members[count++] = x2;
+                            if (count > limit) return i;
+                        }
+                    }
+                }
+                for (int64_t j = xptr[w]; j < xptr[w + 1]; j++) {
+                    if (xactive[j]) {
+                        int64_t x2 = xindices[j];
+                        if (core[x2] == level && stamp[x2] != i) {
+                            stamp[x2] = i;
+                            members[count++] = x2;
+                            if (count > limit) return i;
+                        }
+                    }
+                }
+            }
+        }
+        for (int64_t t = 0; t < count; t++) {
+            int64_t w = members[t];
+            int64_t s = 0;
+            for (int64_t j = indptr[w]; j < indptr[w + 1]; j++) {
+                if (active[j]) {
+                    int64_t x2 = indices[j];
+                    if (core[x2] > level || stamp[x2] == i) s += 1;
+                }
+            }
+            for (int64_t j = xptr[w]; j < xptr[w + 1]; j++) {
+                if (xactive[j]) {
+                    int64_t x2 = xindices[j];
+                    if (core[x2] > level || stamp[x2] == i) s += 1;
+                }
+            }
+            support[w] = s;
+        }
+        int64_t top2 = 0;
+        for (int64_t t = 0; t < count; t++) {
+            if (support[members[t]] <= level) stack[top2++] = members[t];
+        }
+        while (top2 > 0) {
+            int64_t w = stack[--top2];
+            if (removed[w] == i) continue;
+            removed[w] = i;
+            for (int64_t j = indptr[w]; j < indptr[w + 1]; j++) {
+                if (active[j]) {
+                    int64_t x2 = indices[j];
+                    if (stamp[x2] == i && removed[x2] != i) {
+                        support[x2] -= 1;
+                        if (support[x2] == level) stack[top2++] = x2;
+                    }
+                }
+            }
+            for (int64_t j = xptr[w]; j < xptr[w + 1]; j++) {
+                if (xactive[j]) {
+                    int64_t x2 = xindices[j];
+                    if (stamp[x2] == i && removed[x2] != i) {
+                        support[x2] -= 1;
+                        if (support[x2] == level) stack[top2++] = x2;
+                    }
+                }
+            }
+        }
+        for (int64_t t = 0; t < count; t++) {
+            int64_t w = members[t];
+            if (removed[w] != i) core[w] = level + 1;
+        }
+    }
+    return nops;
+}
 """
 
 _I64 = ctypes.POINTER(ctypes.c_int64)
 _F64 = ctypes.POINTER(ctypes.c_double)
+_I8 = ctypes.POINTER(ctypes.c_int8)
 
 #: symbol -> argtypes; ``None`` entries are filled per call site.
 _SIGNATURES = {
@@ -240,7 +431,14 @@ _SIGNATURES = {
                                    _I64, _I64, _I64, _I64, _I64, _I64, _I64,
                                    _I64, _I64),
     "repro_vertex_strengths": (ctypes.c_int64, _I64, _F64, _F64),
+    "repro_subcore_repair": (ctypes.c_int64, _I64, _I64, _I8, _I64, _I64, _I8,
+                             _I64, ctypes.c_int64, _I64, _I64, _I64,
+                             ctypes.c_int64, _I64, _I64, _I64, _I64, _I64,
+                             _I8, _I64),
 }
+
+#: Symbols that return a value (everything else returns void).
+_RESTYPES = {"repro_subcore_repair": ctypes.c_int64}
 
 
 def compiler_path() -> str | None:
@@ -282,7 +480,7 @@ class CcProvider:
         for symbol, argtypes in _SIGNATURES.items():
             fn = getattr(self._lib, symbol)
             fn.argtypes = argtypes
-            fn.restype = None
+            fn.restype = _RESTYPES.get(symbol)
         cc = compiler_path()
         self.name = f"cc-{Path(cc).name}" if cc else "cc"
 
@@ -400,6 +598,31 @@ class CcProvider:
             n, _ptr(indptr, _I64), _ptr(arc_weights, _F64), _ptr(strength, _F64),
         )
         return strength
+
+    def subcore_repair(self, indptr, indices, active, xptr, xindices, xactive,
+                       core, ops_u, ops_v, ops_kind, limit):
+        n = indptr.shape[0] - 1
+        nops = ops_u.shape[0]
+        if n == 0 or nops == 0:
+            return np.int64(nops)
+        stamp = np.full(n, -1, dtype=np.int64)
+        removed = np.full(n, -1, dtype=np.int64)
+        support = np.empty(n, dtype=np.int64)
+        members = np.empty(n, dtype=np.int64)
+        stack = np.empty(n, dtype=np.int64)
+        inq = np.zeros(n, dtype=np.uint8)
+        deg = (indptr[1:] - indptr[:-1]) + (xptr[1:] - xptr[:-1])
+        max_deg = int(deg.max()) if n else 0
+        counts = np.zeros(max_deg + 2, dtype=np.int64)
+        applied = self._lib.repro_subcore_repair(
+            n, _ptr(indptr, _I64), _ptr(indices, _I64), _ptr(active, _I8),
+            _ptr(xptr, _I64), _ptr(xindices, _I64), _ptr(xactive, _I8),
+            _ptr(core, _I64), nops, _ptr(ops_u, _I64), _ptr(ops_v, _I64),
+            _ptr(ops_kind, _I64), int(limit), _ptr(stamp, _I64),
+            _ptr(removed, _I64), _ptr(support, _I64), _ptr(members, _I64),
+            _ptr(stack, _I64), _ptr(inq, _I8), _ptr(counts, _I64),
+        )
+        return np.int64(applied)
 
 
 def load_provider() -> CcProvider:

@@ -125,6 +125,33 @@ class KernelBackend:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Dynamic maintenance
+    # ------------------------------------------------------------------
+    def subcore_repair(self, indptr, indices, active, xptr, xindices, xactive,
+                       core, ops_u, ops_v, ops_kind, limit):
+        """Apply a batch of edge updates to a coreness array, in place.
+
+        The working adjacency is two-part so no O(m) CSR merge is needed:
+        the *old* snapshot's ``indptr``/``indices`` filtered by the uint8
+        per-arc ``active`` mask, plus an "extra" CSR (``xptr``/``xindices``
+        /``xactive``, rows id-sorted) holding only the delta's inserted
+        arcs.  ``ops_u``/``ops_v``/``ops_kind`` list the edge updates
+        (kind 0 = delete, 1 = insert); deletes must exist in the old CSR,
+        inserts in the extra CSR, and the two sets must be disjoint —
+        exactly what an effective :class:`repro.dynamic.GraphDelta` yields.
+
+        Deletes are repaired first, exactly, by a chaotic descent of the
+        h-index fixpoint from the old coreness; inserts then replay the
+        sequential per-edge optimistic subcore peel.  ``core``, ``active``
+        and ``xactive`` are mutated in place.  Returns the number of ops
+        applied as int64: short of ``len(ops_u)`` means an insert subcore
+        exceeded ``limit`` visited vertices — the arrays are then in an
+        undefined intermediate state and the caller must discard them and
+        re-peel.  Coreness is unique, so every backend is bit-identical.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
     # Connectivity
     # ------------------------------------------------------------------
     def connected_components(self, graph: Graph, active: np.ndarray) -> tuple[np.ndarray, int]:

@@ -82,6 +82,7 @@ KERNEL_RAW = {
     "triangle_charges": "triangle_charges",
     "triplet_group_deltas": "triplet_group_deltas",
     "vertex_strengths": "vertex_strengths",
+    "subcore_repair": "subcore_repair",
 }
 
 #: Kernels that intentionally stay on the numpy implementation: their numpy
@@ -188,6 +189,18 @@ _WARMUP_ARGS = {
                                      np.arange(4, dtype=np.int64),
                                      np.array([0, 4], dtype=np.int64)),
     "vertex_strengths": lambda: (_WARM_INDPTR, np.ones(8, dtype=np.float64)),
+    # Delete the pendant edge (0,3), then insert (1,3) through the extra
+    # CSR — exercises both phases of the batched repair.
+    "subcore_repair": lambda: (_WARM_INDPTR, _WARM_INDICES,
+                               np.ones(8, dtype=np.uint8),
+                               np.array([0, 0, 1, 1, 2], dtype=np.int64),
+                               np.array([3, 1], dtype=np.int64),
+                               np.zeros(2, dtype=np.uint8),
+                               np.array([2, 2, 2, 1], dtype=np.int64),
+                               np.array([0, 1], dtype=np.int64),
+                               np.array([3, 3], dtype=np.int64),
+                               np.array([0, 1], dtype=np.int64),
+                               np.int64(16)),
 }
 
 
@@ -385,6 +398,25 @@ class NativeBackend(KernelBackend):
             except Exception as exc:
                 self._poison("triplet_group_deltas", exc)
         return self._numpy.triplet_group_deltas(ordered, groups)
+
+    # -- dynamic maintenance ----------------------------------------------
+    def subcore_repair(self, indptr, indices, active, xptr, xindices, xactive,
+                       core, ops_u, ops_v, ops_kind, limit):
+        fn = self._resolve("subcore_repair")
+        if fn is not None:
+            # This kernel mutates core/active/xactive in place; snapshot
+            # them so a runtime failure can fall back on pristine inputs.
+            snapshot = (core.copy(), active.copy(), xactive.copy())
+            try:
+                return fn(indptr, indices, active, xptr, xindices, xactive,
+                          core, ops_u, ops_v, ops_kind, limit)
+            except Exception as exc:
+                self._poison("subcore_repair", exc)
+                core[:], active[:], xactive[:] = snapshot
+        return self._numpy.subcore_repair(
+            indptr, indices, active, xptr, xindices, xactive,
+            core, ops_u, ops_v, ops_kind, limit,
+        )
 
     # -- connectivity / weights -------------------------------------------
     def connected_components(self, graph, active):

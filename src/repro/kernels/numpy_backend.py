@@ -266,6 +266,103 @@ class NumpyBackend(KernelBackend):
         return labels, len(roots)
 
     # ------------------------------------------------------------------
+    def subcore_repair(self, indptr, indices, active, xptr, xindices, xactive,
+                       core, ops_u, ops_v, ops_kind, limit):
+        n = len(indptr) - 1
+        nops = len(ops_u)
+        if n == 0 or nops == 0:
+            return np.int64(nops)
+        two_part = (indptr, indices, active, xptr, xindices, xactive)
+
+        # Phase 1 — deletes, all at once: deactivate the arcs, then run a
+        # synchronous (Jacobi) descent of the clipped h-index operator over
+        # the dirty set.  Like the scalar chaotic descent, any drained
+        # fixpoint below the old coreness *is* the new coreness, so the
+        # round structure does not change the answer.
+        dels = ops_kind == 0
+        if dels.any():
+            heads = np.concatenate([ops_u[dels], ops_v[dels]])
+            tails = np.concatenate([ops_v[dels], ops_u[dels]])
+            active[_row_positions(indptr, indices, heads, tails)] = 0
+            dirty = np.unique(heads)
+            while dirty.size:
+                h = np.minimum(
+                    _masked_hindex(two_part, core, dirty), core[dirty]
+                )
+                drop = h < core[dirty]
+                if not drop.any():
+                    break
+                droppers = dirty[drop]
+                newvals = h[drop]
+                oldvals = core[droppers].copy()
+                core[droppers] = newvals
+                # A neighbour can only drop if its value sits in
+                # (new, old]: thresholds <= new still see the dropper,
+                # and it never counted toward thresholds above old.
+                nbrs, seg = _masked_neighbors(two_part, droppers)
+                affected = nbrs[
+                    (core[nbrs] > newvals[seg]) & (core[nbrs] <= oldvals[seg])
+                ]
+                dirty = np.unique(affected)
+
+        # Phase 2 — inserts, one edge at a time (the subcore theorem is a
+        # single-edge statement): frontier BFS of the root subcore, one
+        # batched support count, then repeated pruning of the optimistic
+        # peel.  member/alive/slot scratch is reset via the touched list.
+        member = np.zeros(n, dtype=bool)
+        alive = np.ones(n, dtype=bool)
+        slot = np.zeros(n, dtype=np.int64)
+        for i in np.flatnonzero(ops_kind == 1):
+            u, v = int(ops_u[i]), int(ops_v[i])
+            for a, b in ((u, v), (v, u)):
+                row = xindices[xptr[a]:xptr[a + 1]]
+                pos = int(np.searchsorted(row, b))
+                if pos < len(row) and row[pos] == b:
+                    xactive[xptr[a] + pos] = 1
+            cu, cv = int(core[u]), int(core[v])
+            level = min(cu, cv)
+            root = u if cu <= cv else v
+            member[root] = True
+            parts = [np.array([root], dtype=np.int64)]
+            frontier, total = parts[0], 1
+            bailed = False
+            while frontier.size:
+                nbrs, _ = _masked_neighbors(two_part, frontier)
+                nbrs = np.unique(nbrs[core[nbrs] == level])
+                frontier = nbrs[~member[nbrs]]
+                member[frontier] = True
+                total += frontier.size
+                if total > int(limit):
+                    bailed = True
+                    break
+                if frontier.size:
+                    parts.append(frontier)
+            mem = np.concatenate(parts)
+            if bailed:
+                member[mem] = False
+                return np.int64(i)
+            slot[mem] = np.arange(mem.size, dtype=np.int64)
+            nbrs, seg = _masked_neighbors(two_part, mem)
+            supp = np.bincount(
+                seg[(core[nbrs] > level) | member[nbrs]], minlength=mem.size
+            )
+            removals = mem[supp[slot[mem]] <= level]
+            while removals.size:
+                alive[removals] = False
+                nbrs, _ = _masked_neighbors(two_part, removals)
+                nbrs = nbrs[member[nbrs] & alive[nbrs]]
+                if nbrs.size == 0:
+                    break
+                supp -= np.bincount(slot[nbrs], minlength=mem.size)
+                cand = np.unique(nbrs)
+                removals = cand[supp[slot[cand]] <= level]
+            risers = mem[alive[mem]]
+            core[risers] = level + 1
+            member[mem] = False
+            alive[mem] = True
+        return np.int64(nops)
+
+    # ------------------------------------------------------------------
     def vertex_strengths(self, graph: Graph, arc_weights: np.ndarray) -> np.ndarray:
         n = graph.num_vertices
         strength = np.zeros(n, dtype=np.float64)
@@ -277,6 +374,58 @@ class NumpyBackend(KernelBackend):
         # already zero, so reduce only the non-empty rows.
         strength[nonempty] = np.add.reduceat(arc_weights, indptr[nonempty])
         return strength
+
+
+# ----------------------------------------------------------------------
+# Masked two-part adjacency helpers (batched subcore repair)
+# ----------------------------------------------------------------------
+
+def _row_positions(indptr, indices, heads, tails) -> np.ndarray:
+    """Arc positions of existing ``heads[i] -> tails[i]`` arcs: one
+    synchronized binary search across all the (sorted) rows at once."""
+    lo = indptr[heads].astype(np.int64)
+    hi = indptr[heads + 1].astype(np.int64)
+    while True:
+        open_ = lo < hi
+        if not open_.any():
+            return lo
+        mid = (lo + hi) // 2
+        go = np.zeros(len(lo), dtype=bool)
+        go[open_] = indices[mid[open_]] < tails[open_]
+        lo = np.where(open_ & go, mid + 1, lo)
+        hi = np.where(open_ & ~go, mid, hi)
+
+
+def _masked_neighbors(two_part, verts) -> tuple[np.ndarray, np.ndarray]:
+    """``(nbrs, seg)`` of the active arcs out of ``verts`` across both the
+    masked old CSR and the extra CSR of inserted arcs."""
+    indptr, indices, active, xptr, xindices, xactive = two_part
+    o_start, o_stop = indptr[verts], indptr[verts + 1]
+    o_keep = concat_ranges(active, o_start, o_stop).astype(bool)
+    o_seg = np.repeat(np.arange(verts.size, dtype=np.int64), o_stop - o_start)
+    x_start, x_stop = xptr[verts], xptr[verts + 1]
+    x_keep = concat_ranges(xactive, x_start, x_stop).astype(bool)
+    x_seg = np.repeat(np.arange(verts.size, dtype=np.int64), x_stop - x_start)
+    nbrs = np.concatenate([
+        concat_ranges(indices, o_start, o_stop)[o_keep],
+        concat_ranges(xindices, x_start, x_stop)[x_keep],
+    ])
+    return nbrs, np.concatenate([o_seg[o_keep], x_seg[x_keep]])
+
+
+def _masked_hindex(two_part, core, verts) -> np.ndarray:
+    """Per-vertex h-index of the active neighbours' core values (same
+    lexsort formulation as :meth:`NumpyBackend.hindex_fixpoint`)."""
+    nbrs, seg = _masked_neighbors(two_part, verts)
+    vals = core[nbrs]
+    order = np.lexsort((-vals, seg))
+    svals = vals[order]
+    sseg = seg[order]
+    lens = np.bincount(seg, minlength=verts.size)
+    offsets = np.zeros(verts.size + 1, dtype=np.int64)
+    np.cumsum(lens, out=offsets[1:])
+    pos = np.arange(svals.size, dtype=np.int64) - offsets[sseg]
+    return np.bincount(sseg[svals >= pos + 1], minlength=verts.size).astype(np.int64)
 
 
 # ----------------------------------------------------------------------

@@ -200,3 +200,12 @@ class PythonBackend(KernelBackend):
         for v in range(n):
             strength[v] = arc_weights[indptr[v]:indptr[v + 1]].sum()
         return strength
+
+    # ------------------------------------------------------------------
+    def subcore_repair(self, indptr, indices, active, xptr, xindices, xactive,
+                       core, ops_u, ops_v, ops_kind, limit):
+        # The raw loop kernel *is* the scalar reference — run it uncompiled.
+        from ._native_impl import subcore_repair as raw
+
+        return raw(indptr, indices, active, xptr, xindices, xactive,
+                   core, ops_u, ops_v, ops_kind, limit)
