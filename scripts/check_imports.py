@@ -35,6 +35,11 @@ Layering (DESIGN.md, engine section):
   instrumentation; spans are emitted by the infrastructure layers that
   call it (``kernels``, ``engine``, ``parallel``, ``index``, ``bench``,
   ``cli``).
+* ``repro.scenarios`` — the self-measurement harness, directly below the
+  CLI: may import ``obs``, ``engine``, ``index``, ``bench``, ``dynamic``
+  and the generators, but never ``cli``/``apps``/``viz`` — and no family,
+  kernel, engine or plumbing package may import it back (it is in every
+  lower layer's forbidden list via ``ALL_LAYERS``).
 * everything else (``index``, ``apps``, ``bench``, ``cli``, ...) — higher
   layers, unconstrained.
 
@@ -63,25 +68,35 @@ FAMILY_PACKAGES = ("core", "truss", "weighted", "ecc")
 #: none of them (it is a stdlib-only leaf).
 ALL_LAYERS = (
     "graph", "errors", "kernels", "engine", "parallel", "dynamic", "index",
-    "apps", "bench", "cli", "generators", "viz",
+    "apps", "bench", "cli", "generators", "viz", "scenarios",
 ) + FAMILY_PACKAGES
 
 #: subpackage -> the repro subpackages it must never import.
 FORBIDDEN: dict[str, tuple[str, ...]] = {
     "obs": ALL_LAYERS,
-    "graph": ("engine", "parallel", "dynamic", "index", "apps", "bench", "cli", "obs")
+    "graph": ("engine", "parallel", "dynamic", "index", "apps", "bench", "cli", "obs",
+              "scenarios")
     + FAMILY_PACKAGES,
-    "errors": ("engine", "parallel", "dynamic", "index", "apps", "bench", "cli", "obs")
+    "errors": ("engine", "parallel", "dynamic", "index", "apps", "bench", "cli", "obs",
+               "scenarios")
     + FAMILY_PACKAGES,
-    "kernels": ("engine", "parallel", "dynamic", "index", "apps", "bench", "cli")
+    "kernels": ("engine", "parallel", "dynamic", "index", "apps", "bench", "cli",
+                "scenarios")
     + FAMILY_PACKAGES,
-    "engine": FAMILY_PACKAGES + ("parallel", "dynamic", "index", "apps", "bench", "cli"),
-    "parallel": FAMILY_PACKAGES + ("engine", "dynamic", "index", "apps", "bench", "cli"),
-    "dynamic": FAMILY_PACKAGES + ("engine", "parallel", "index", "apps", "bench", "cli"),
+    "engine": FAMILY_PACKAGES
+    + ("parallel", "dynamic", "index", "apps", "bench", "cli", "scenarios"),
+    "parallel": FAMILY_PACKAGES
+    + ("engine", "dynamic", "index", "apps", "bench", "cli", "scenarios"),
+    "dynamic": FAMILY_PACKAGES
+    + ("engine", "parallel", "index", "apps", "bench", "cli", "scenarios"),
+    # The self-measurement harness sits above the whole execution stack:
+    # it may reach down into obs/engine/index/bench/dynamic, but never
+    # sideways into the CLI (the CLI fronts it, not the reverse).
+    "scenarios": ("cli", "apps", "viz"),
 }
 for _family in FAMILY_PACKAGES:
     FORBIDDEN[_family] = tuple(f for f in FAMILY_PACKAGES if f != _family) + (
-        "parallel", "dynamic", "index", "apps", "bench", "cli", "obs",
+        "parallel", "dynamic", "index", "apps", "bench", "cli", "obs", "scenarios",
     )
 
 #: full module name -> repro subpackages that *specific module* must not

@@ -33,6 +33,7 @@ def execution_metadata(
     jobs: int | None = None,
     cache_dir: str | None = None,
     cache_state: str | None = None,
+    obs_summary: dict | None = None,
 ) -> dict:
     """Parallel/cache execution facts stamped into every ``BENCH_*.json``.
 
@@ -51,6 +52,11 @@ def execution_metadata(
     explicit per-backend per-kernel counts (plus the native backend's
     per-reason fallback counts), so every bench row is attributable to the
     backend whose code *actually ran*, not merely the one selected.
+
+    ``obs_summary`` lets a caller pass a summary snapshotted *earlier* —
+    benchmarks that ``obs.reset()`` between runs must capture the summary
+    before the reset, or the stamped block records the empty recorder
+    instead of the run it claims to describe.
     """
     from .. import obs
     from ..parallel import resolve_jobs, shm_available
@@ -66,7 +72,7 @@ def execution_metadata(
         "cache_dir": None if cache_dir is None else str(cache_dir),
         "cache_state": cache_state,
         "kernel_dispatch": kernel_dispatch_summary(),
-        "obs": obs.summary(),
+        "obs": obs.summary() if obs_summary is None else obs_summary,
     }
 
 

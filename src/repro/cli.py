@@ -25,8 +25,14 @@ Installed as the ``bestk`` console script (also ``python -m repro``):
 * ``bestk report [--out DIR]``         — all experiments into one REPORT.md
 * ``bestk datasets``                   — list the stand-in registry
 * ``bestk cache {ls,clear,warm}``      — manage the persistent artifact cache
+* ``bestk bench {list,run,compare,update-baseline}`` — the closed-loop
+  scenario harness: sweep the registered benchmark scenarios
+  (``run --quick`` for the CI subset), compare a sweep against the
+  committed baseline with the noise-aware regression sentinel
+  (exit 1 on regression), or refresh the baseline
 * ``bestk stats TRACE``                — render a ``--trace`` JSONL file as
-  a span tree + counter table (``--prometheus`` for text exposition)
+  a span tree + counter table + latency-percentile table
+  (``--prometheus`` for text exposition including histogram series)
 
 ``GRAPH`` is either an edge-list path (gzip OK) or ``dataset:KEY`` for a
 registry stand-in (e.g. ``dataset:DBLP``).
@@ -275,6 +281,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-depth", type=int, default=None,
         help="truncate the span tree below this depth",
+    )
+
+    p = sub.add_parser(
+        "bench", help="closed-loop scenario benchmarks and regression sentinel"
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    pb = bench_sub.add_parser("list", help="list the registered scenarios")
+    pb.add_argument(
+        "--quick", action="store_true", help="show only the --quick subset"
+    )
+    pb = bench_sub.add_parser(
+        "run", help="sweep the scenario registry into a result JSON"
+    )
+    pb.add_argument(
+        "--quick", action="store_true",
+        help="run only the quick subset (what CI sweeps per push)",
+    )
+    pb.add_argument(
+        "--only", default=None,
+        help="comma-separated scenario names instead of the full sweep",
+    )
+    pb.add_argument(
+        "--repeats", type=int, default=None,
+        help="override every scenario's repeat count",
+    )
+    pb.add_argument(
+        "-o", "--output", default="BENCH_scenarios.json",
+        help="result JSON path (default: BENCH_scenarios.json)",
+    )
+    pb = bench_sub.add_parser(
+        "compare", help="compare a result JSON against the committed baseline"
+    )
+    pb.add_argument(
+        "results", nargs="?", default="BENCH_scenarios.json",
+        help="result JSON from 'bestk bench run' (default: BENCH_scenarios.json)",
+    )
+    pb.add_argument(
+        "--baseline", default="benchmarks/baselines/scenarios.json",
+        help="baseline JSON (default: benchmarks/baselines/scenarios.json)",
+    )
+    pb.add_argument(
+        "--rel", type=float, default=None,
+        help="relative slowdown threshold (default 0.5 = 50%%)",
+    )
+    pb.add_argument(
+        "--abs-floor", type=float, default=None,
+        help="absolute regression floor in seconds (default 0.025)",
+    )
+    pb.add_argument(
+        "--structure-only", action="store_true",
+        help="timing verdicts advisory; fail only on structural drift "
+             "(missing scenarios, unverified answers, schema mismatch)",
+    )
+    pb = bench_sub.add_parser(
+        "update-baseline", help="distill a result JSON into the baseline file"
+    )
+    pb.add_argument(
+        "results", nargs="?", default="BENCH_scenarios.json",
+        help="result JSON from 'bestk bench run' (default: BENCH_scenarios.json)",
+    )
+    pb.add_argument(
+        "--baseline", default="benchmarks/baselines/scenarios.json",
+        help="baseline JSON to write (default: benchmarks/baselines/scenarios.json)",
     )
 
     p = sub.add_parser("cache", help="manage the persistent artifact cache")
@@ -678,12 +747,16 @@ def _cmd_stats(args) -> int:
         load_trace,
         prometheus_text,
         render_counter_table,
+        render_histogram_table,
         render_span_tree,
     )
 
     data = load_trace(args.trace)
     if args.prometheus:
-        print(prometheus_text(data["counters"], data["gauges"]), end="")
+        print(
+            prometheus_text(data["counters"], data["gauges"], data["histograms"]),
+            end="",
+        )
         return 0
     if data["spans"]:
         print(render_span_tree(data["spans"], max_depth=args.max_depth))
@@ -692,7 +765,83 @@ def _cmd_stats(args) -> int:
     if data["counters"] or data["gauges"]:
         print()
         print(render_counter_table(data["counters"], data["gauges"]))
+    if data["histograms"]:
+        print()
+        print(render_histogram_table(data["histograms"]))
     return 0
+
+
+def _cmd_bench(args) -> int:
+    import json
+    import pathlib
+
+    from .scenarios import (
+        ABS_FLOOR_SECONDS,
+        REL_THRESHOLD,
+        baseline_from_results,
+        compare_results,
+        iter_scenarios,
+        run_suite,
+    )
+
+    if args.bench_command == "list":
+        scenarios = iter_scenarios(quick=args.quick)
+        width = max(len(s.name) for s in scenarios)
+        for s in scenarios:
+            axes = f"{s.family}/{s.backend}"
+            if s.engine:
+                axes += f"/{s.engine}"
+            if s.jobs > 1:
+                axes += f"/jobs={s.jobs}"
+            if s.cache:
+                axes += "/cache"
+            if s.delta_stream:
+                axes += f"/deltas={s.delta_stream}"
+            mark = "*" if s.quick else " "
+            print(f"{mark} {s.name:<{width}}  {axes:<28}  {s.description}")
+        print(f"{len(scenarios)} scenario(s); * = --quick subset")
+        return 0
+
+    if args.bench_command == "run":
+        only = tuple(args.only.split(",")) if args.only else None
+
+        def progress(record: dict) -> None:
+            wall = record["wall_seconds"]
+            print(
+                f"{record['scenario']:<24} n={record['n']:<6} m={record['m']:<7} "
+                f"min {wall['min'] * 1e3:8.1f} ms  median {wall['median'] * 1e3:8.1f} ms  "
+                f"verified={record['verified']}",
+                flush=True,
+            )
+
+        report = run_suite(
+            quick=args.quick, only=only, repeats=args.repeats, progress=progress
+        )
+        out = pathlib.Path(args.output)
+        out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out} ({report['scenario_count']} scenario(s))")
+        return 0
+
+    if args.bench_command == "update-baseline":
+        report = json.loads(pathlib.Path(args.results).read_text(encoding="utf-8"))
+        baseline = baseline_from_results(report)
+        out = pathlib.Path(args.baseline)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out} ({len(baseline['scenarios'])} scenario(s))")
+        return 0
+
+    # compare
+    report = json.loads(pathlib.Path(args.results).read_text(encoding="utf-8"))
+    baseline = json.loads(pathlib.Path(args.baseline).read_text(encoding="utf-8"))
+    comparison = compare_results(
+        report, baseline,
+        rel_threshold=REL_THRESHOLD if args.rel is None else args.rel,
+        abs_floor=ABS_FLOOR_SECONDS if args.abs_floor is None else args.abs_floor,
+        structure_only=args.structure_only,
+    )
+    print(comparison.render())
+    return 0 if comparison.passed else 1
 
 
 def _cmd_datasets(_args) -> int:
@@ -743,6 +892,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_datasets(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "stats":
             return _cmd_stats(args)
     except KeyboardInterrupt:

@@ -37,6 +37,7 @@ rebuild) on ``dynamic.plan{choice,reason}``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -133,7 +134,33 @@ def incremental_core_numbers(
     ``max(256, n_new // 8)``).  ``plan`` forces a strategy
     (``edge``/``batched``/``rebuild``; ``auto``/``None`` defers to the
     cost model, after the ``REPRO_DYNAMIC_PLAN`` environment override).
+
+    Every call lands one observation on the
+    ``dynamic.maintain_seconds{path=}`` histogram, labelled by the path
+    actually taken (which may differ from the planner's choice when a
+    repair bails to a rebuild).
     """
+    start = time.perf_counter()
+    result = _incremental_core_numbers(
+        old_graph, old_coreness, delta, new_graph=new_graph, backend=backend,
+        subcore_limit=subcore_limit, plan=plan,
+    )
+    obs.observe(
+        "dynamic.maintain_seconds", time.perf_counter() - start, path=result.path
+    )
+    return result
+
+
+def _incremental_core_numbers(
+    old_graph: Graph,
+    old_coreness: np.ndarray | None,
+    delta: GraphDelta,
+    *,
+    new_graph: Graph | None = None,
+    backend: str | None = None,
+    subcore_limit: int | None = None,
+    plan: str | None = None,
+) -> MaintainResult:
     n_new = delta.min_num_vertices(old_graph.num_vertices) if new_graph is None else new_graph.num_vertices
     if subcore_limit is None:
         subcore_limit = max(256, n_new // 8)

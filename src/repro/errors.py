@@ -105,3 +105,13 @@ class QueryError(ReproError):
     Used by the size-constrained k-core search when the query vertex does not
     admit any k-core of the requested size.
     """
+
+
+class ScenarioMismatchError(ReproError):
+    """A scenario run produced a different answer than the reference.
+
+    Raised by :mod:`repro.scenarios` when a registered scenario's result
+    (best k, score, or vertex set) is not bit-identical to the python
+    reference execution — the self-measurement harness refuses to time a
+    wrong answer.
+    """

@@ -579,13 +579,14 @@ class BestKIndex:
                     ],
                     jobs=workers,
                 )
-            for (fam, params, _), (_, payloads, seconds, spans, counters) in zip(
-                tasks, results
-            ):
+            for (fam, params, _), (
+                _, payloads, seconds, spans, counters, histograms
+            ) in zip(tasks, results):
                 # Child work appears nested under this prebuild span and is
                 # counted exactly once (workers extract before shipping).
                 obs.adopt_spans(spans)
                 obs.merge_counters(counters)
+                obs.merge_histograms(histograms)
                 if not payloads:
                     continue
                 artifacts = hydrate_arrays(self.graph, fam, payloads, params)
@@ -630,6 +631,7 @@ class BestKIndex:
         with obs.span(
             "index:score", family=fam.name, metric=metric.name, phase="score"
         ):
+            score_start = time.perf_counter()
             decomposition = self.family_decomposition(fam, **params)
             levels = self._family_levels(fam, decomposition, params)
             ordering = self._family_ordering(fam, levels, params)
@@ -648,6 +650,10 @@ class BestKIndex:
             result = scores_from_level_totals(
                 metric, totals, num_k, twice_in_k, out_k, tri_k, trip_k,
                 make_values=fam.make_values, thresholds=thresholds,
+            )
+            obs.observe(
+                "index.score_seconds", time.perf_counter() - score_start,
+                family=fam.name, metric=metric.name,
             )
         self._scores[(fam.name, metric.name)] = result
         return result
@@ -792,12 +798,17 @@ class BestKIndex:
             "index:score", family="core", metric=metric.name, phase="score",
             problem=2,
         ):
+            score_start = time.perf_counter()
             twice_in, out, num = self._node_totals()
             tri = trip = None
             if metric.requires_triangles:
                 tri, trip = self._node_triangles()
             result = scores_from_forest_totals(
                 metric, self.totals, self.forest, twice_in, out, num, tri, trip
+            )
+            obs.observe(
+                "index.score_seconds", time.perf_counter() - score_start,
+                family="core", metric=metric.name,
             )
         self._core_scores[metric.name] = result
         return result

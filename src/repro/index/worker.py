@@ -36,19 +36,22 @@ __all__ = ["build_family_artifacts"]
 
 def build_family_artifacts(
     task,
-) -> tuple[str, dict[str, dict[str, np.ndarray]], dict[str, float], list[dict], dict]:
+) -> tuple[
+    str, dict[str, dict[str, np.ndarray]], dict[str, float], list[dict], dict, dict,
+]:
     """Build the requested artifacts of one family in this process.
 
     ``task`` is ``(handle, family_name, params, backend_name, names)``
     with an optional trailing ``engine`` selector for engine-aware
     families.  Returns
-    ``(family_name, payloads, build_seconds, spans, counters)``;
+    ``(family_name, payloads, build_seconds, spans, counters, histograms)``;
     payload arrays are fresh (never views into the shared graph), so
     pickling them back is safe and the shared mapping can be released.
-    ``spans`` / ``counters`` are the obs records captured while building,
-    exported as plain data for the parent to adopt.  Families whose
-    params are invalid here (exactly the errors the serial sweep skips)
-    return an empty payload instead of poisoning the whole pool map.
+    ``spans`` / ``counters`` / ``histograms`` are the obs records captured
+    while building, exported as plain data for the parent to adopt.
+    Families whose params are invalid here (exactly the errors the serial
+    sweep skips) return an empty payload instead of poisoning the whole
+    pool map.
     """
     handle, family_name, params, backend_name, names = task[:5]
     engine = task[5] if len(task) > 5 else None
@@ -96,7 +99,7 @@ def build_family_artifacts(
                                 for field, arr in payload.items()
                             }
                     seconds = dict(index.build_seconds)
-        return family_name, payloads, seconds, cap.spans, cap.counters
+        return family_name, payloads, seconds, cap.spans, cap.counters, cap.histograms
     finally:
         # Views into the shared segment must be collectable before close.
         index = fam = graph = None

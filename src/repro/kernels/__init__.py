@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import functools
 import os
+import time
 
 from .. import obs
 from ..errors import UnknownBackendError
@@ -90,13 +91,20 @@ KERNEL_METHODS = (
 
 
 def _instrumented(kernel_name: str, backend_name: str, bound):
-    """Wrap one bound kernel method with a dispatch counter and span."""
+    """Wrap one bound kernel method with a dispatch counter, span and
+    latency histogram (``kernel.seconds{backend=,kernel=}``)."""
 
     @functools.wraps(bound)
     def wrapper(*args, **kwargs):
         obs.add("kernel.dispatch", backend=backend_name, kernel=kernel_name)
         with obs.span(f"kernel:{kernel_name}", backend=backend_name):
-            return bound(*args, **kwargs)
+            start = time.perf_counter()
+            result = bound(*args, **kwargs)
+            obs.observe(
+                "kernel.seconds", time.perf_counter() - start,
+                backend=backend_name, kernel=kernel_name,
+            )
+            return result
 
     wrapper.__repro_obs_wrapped__ = bound
     return wrapper

@@ -1,10 +1,12 @@
 """``repro.obs`` — zero-dependency structured tracing and metrics.
 
 The observability seam of the package: hierarchical wall-clock **spans**,
-label-aware monotonic **counters** and last-write-wins **gauges**, backed
-by one process-wide :class:`~repro.obs.recorder.Recorder` and pluggable
-sinks (the always-on in-memory recorder, a JSONL trace writer, a
-Prometheus-style text exposition).
+label-aware monotonic **counters**, last-write-wins **gauges** and
+log-bucketed latency **histograms** (``observe(name, value, **labels)``
+with p50/p90/p99 extraction), backed by one process-wide
+:class:`~repro.obs.recorder.Recorder` and pluggable sinks (the always-on
+in-memory recorder, a JSONL trace writer, a Prometheus-style text
+exposition including histogram ``_bucket``/``_sum``/``_count`` series).
 
 This module is a *leaf*: it imports nothing from the rest of ``repro``
 (``scripts/check_imports.py`` enforces it) and the rest of ``repro``
@@ -39,18 +41,30 @@ Environment switches:
 from __future__ import annotations
 
 from .recorder import (
+    BUCKET_BOUNDS,
     Capture,
+    HistogramData,
     Recorder,
     SpanRecord,
     labels_key,
+    merge_histogram_snapshots,
     parse_counter_key,
     render_counter_key,
+    snapshot_percentile,
 )
-from .render import render_counter_table, render_span_tree, summary as _summary
+from .render import (
+    histogram_digest,
+    render_counter_table,
+    render_histogram_table,
+    render_span_tree,
+    summary as _summary,
+)
 from .sinks import JsonlSink, configure_trace as _configure_trace, load_trace, prometheus_text
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "Capture",
+    "HistogramData",
     "JsonlSink",
     "Recorder",
     "SpanRecord",
@@ -70,16 +84,25 @@ __all__ = [
     "flush_sinks",
     "gauges",
     "get_recorder",
+    "histogram",
+    "histogram_digest",
+    "histograms",
     "labels_key",
     "load_trace",
     "merge_counters",
+    "merge_histogram_snapshots",
+    "merge_histograms",
+    "observe",
     "parse_counter_key",
+    "percentile",
     "prometheus_text",
     "render_counter_key",
     "render_counter_table",
+    "render_histogram_table",
     "render_span_tree",
     "reset",
     "set_gauge",
+    "snapshot_percentile",
     "span",
     "spans",
     "summary",
@@ -109,6 +132,27 @@ def add(name: str, value: float = 1, **labels) -> None:
 def set_gauge(name: str, value: float, **labels) -> None:
     """Set a gauge on the process recorder."""
     _RECORDER.set_gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    """Record one histogram observation on the process recorder."""
+    _RECORDER.observe(name, value, **labels)
+
+
+def histogram(name: str, **labels) -> dict | None:
+    return _RECORDER.histogram(name, **labels)
+
+
+def histograms() -> dict[str, dict]:
+    return _RECORDER.histograms()
+
+
+def percentile(name: str, q: float, **labels) -> float:
+    return _RECORDER.percentile(name, q, **labels)
+
+
+def merge_histograms(delta: dict) -> None:
+    _RECORDER.merge_histograms(delta)
 
 
 def counter(name: str, **labels) -> float:

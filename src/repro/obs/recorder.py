@@ -16,6 +16,16 @@ counters
     ``(name, sorted labels)``.
 gauges
     ``set_gauge("parallel.pool_workers", 4)`` — last-write-wins values.
+histograms
+    ``observe("kernel.seconds", 0.0031, backend="numpy")`` — label-aware
+    distributions over fixed log-spaced buckets
+    (:data:`BUCKET_BOUNDS`: 8 per decade, 1e-7 .. 1e3, plus overflow).
+    Percentiles come back out via :func:`snapshot_percentile` /
+    :meth:`Recorder.percentile`: the answer is the upper bound of the
+    bucket the requested rank falls in, clamped to the observed
+    ``[min, max]`` — exact for constant streams and for values sitting on
+    bucket boundaries, within one bucket (a factor of ``10^(1/8)``)
+    otherwise.
 
 Everything is wall-clock only (``time.perf_counter``) and pure stdlib.
 The recorder never changes the behaviour of instrumented code: disabling
@@ -35,17 +45,23 @@ under its current span with :meth:`Recorder.adopt_spans` /
 from __future__ import annotations
 
 import itertools
+import math
 import os
 import threading
 import time
+from bisect import bisect_left
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "Capture",
+    "HistogramData",
     "Recorder",
     "SpanRecord",
     "labels_key",
-    "render_counter_key",
+    "merge_histogram_snapshots",
     "parse_counter_key",
+    "render_counter_key",
+    "snapshot_percentile",
 ]
 
 #: ``REPRO_OBS`` values that disable the recorder entirely.
@@ -80,6 +96,132 @@ def parse_counter_key(key: str) -> tuple[str, tuple]:
             k, _, v = item.partition("=")
             pairs.append((k, v))
     return name, tuple(sorted(pairs))
+
+
+#: Fixed log-spaced histogram bucket *upper bounds* shared by every
+#: histogram in the process: 8 buckets per decade from 1e-7 to 1e3
+#: seconds (81 bounds), with one extra overflow bucket above the last.
+#: Fixed bounds are what make cross-process merging trivial — two
+#: histograms always add bucket-for-bucket.
+_BUCKETS_PER_DECADE = 8
+_BUCKET_LO_EXP = -7
+_BUCKET_HI_EXP = 3
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    10.0 ** (_BUCKET_LO_EXP + i / _BUCKETS_PER_DECADE)
+    for i in range((_BUCKET_HI_EXP - _BUCKET_LO_EXP) * _BUCKETS_PER_DECADE + 1)
+)
+
+#: Index of the overflow bucket (values above the last bound).
+OVERFLOW_BUCKET = len(BUCKET_BOUNDS)
+
+
+def bucket_index(value: float) -> int:
+    """The bucket a value lands in: smallest ``i`` with ``value <=
+    BUCKET_BOUNDS[i]`` (``le`` semantics), or :data:`OVERFLOW_BUCKET`."""
+    return bisect_left(BUCKET_BOUNDS, value)
+
+
+class HistogramData:
+    """One label-set's distribution: bucket counts plus count/sum/min/max."""
+
+    __slots__ = ("counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, value: float) -> None:
+        idx = bucket_index(value)
+        self.counts[idx] = self.counts.get(idx, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    def copy(self) -> "HistogramData":
+        other = HistogramData()
+        other.counts = dict(self.counts)
+        other.count = self.count
+        other.total = self.total
+        other.vmin = self.vmin
+        other.vmax = self.vmax
+        return other
+
+    def snapshot(self) -> dict:
+        """Plain-data (JSON-able) form: sparse buckets + count/sum/min/max."""
+        return {
+            "buckets": {str(i): c for i, c in sorted(self.counts.items())},
+            "count": self.count,
+            "sum": self.total,
+            "min": None if self.count == 0 else self.vmin,
+            "max": None if self.count == 0 else self.vmax,
+        }
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Absorb a plain-data snapshot (bucket counts add exactly)."""
+        for key, c in (snap.get("buckets") or {}).items():
+            idx = int(key)
+            self.counts[idx] = self.counts.get(idx, 0) + int(c)
+        self.count += int(snap.get("count", 0))
+        self.total += float(snap.get("sum", 0.0))
+        vmin, vmax = snap.get("min"), snap.get("max")
+        if vmin is not None and float(vmin) < self.vmin:
+            self.vmin = float(vmin)
+        if vmax is not None and float(vmax) > self.vmax:
+            self.vmax = float(vmax)
+
+
+def merge_histogram_snapshots(into: dict, snap: dict) -> dict:
+    """Merge two plain-data snapshots (``into`` is mutated and returned)."""
+    buckets = into.setdefault("buckets", {})
+    for key, c in (snap.get("buckets") or {}).items():
+        buckets[key] = buckets.get(key, 0) + int(c)
+    into["count"] = into.get("count", 0) + int(snap.get("count", 0))
+    into["sum"] = into.get("sum", 0.0) + float(snap.get("sum", 0.0))
+    for field, pick in (("min", min), ("max", max)):
+        mine, theirs = into.get(field), snap.get(field)
+        if theirs is not None:
+            into[field] = float(theirs) if mine is None else pick(float(mine), float(theirs))
+    return into
+
+
+def snapshot_percentile(snap: dict, q: float) -> float:
+    """The ``q``-quantile (``0 < q <= 1``) of a histogram snapshot.
+
+    The answer is the *upper bound* of the bucket the ceiling rank
+    ``max(1, ceil(q * count))`` falls in, clamped to the observed
+    ``[min, max]`` — so a constant stream recovers its value exactly and
+    any stream of boundary-valued observations recovers each percentile
+    exactly; otherwise the answer is within one bucket of the truth.
+    Returns 0.0 for an empty histogram.
+    """
+    count = int(snap.get("count", 0))
+    if count <= 0:
+        return 0.0
+    rank = max(1, math.ceil(q * count))
+    cumulative = 0
+    value = None
+    for idx in sorted(int(k) for k in (snap.get("buckets") or {})):
+        cumulative += int(snap["buckets"][str(idx)])
+        if cumulative >= rank:
+            value = (
+                BUCKET_BOUNDS[idx] if idx < len(BUCKET_BOUNDS)
+                else float(snap.get("max") or BUCKET_BOUNDS[-1])
+            )
+            break
+    if value is None:  # pragma: no cover - count/buckets disagree
+        value = float(snap.get("max") or 0.0)
+    vmin, vmax = snap.get("min"), snap.get("max")
+    if vmin is not None:
+        value = max(value, float(vmin))
+    if vmax is not None:
+        value = min(value, float(vmax))
+    return value
 
 
 class SpanRecord:
@@ -204,12 +346,17 @@ class Capture:
         self.spans: list[dict] = []
         self.counters: dict = {}
         self.gauges: dict = {}
+        #: Histogram *deltas* of the window: ``{(name, labels): snapshot}``.
+        self.histograms: dict = {}
 
     def __enter__(self) -> "Capture":
         rec = self._recorder
         with rec._lock:
             self._mark = len(rec._spans)
             self._counters_before = dict(rec._counters)
+            self._histograms_before = {
+                key: hist.copy() for key, hist in rec._histograms.items()
+            }
             self._sinks, rec._sinks = rec._sinks, []
         return self
 
@@ -225,6 +372,13 @@ class Capture:
                 if moved:
                     delta[key] = moved
             rec._counters = before
+            hist_delta = {}
+            for key, hist in rec._histograms.items():
+                prior = self._histograms_before.get(key)
+                hist_delta_snap = _histogram_window_delta(prior, hist)
+                if hist_delta_snap is not None:
+                    hist_delta[key] = hist_delta_snap
+            rec._histograms = self._histograms_before
             rec._sinks = self._sinks
         captured_ids = {record.span_id for record in captured}
         self.spans = []
@@ -234,7 +388,37 @@ class Capture:
                 data["parent"] = None
             self.spans.append(data)
         self.counters = delta
+        self.histograms = hist_delta
         return False
+
+
+def _histogram_window_delta(
+    before: HistogramData | None, after: HistogramData
+) -> dict | None:
+    """The observations a capture window added, as a snapshot, or ``None``.
+
+    Bucket counts, count and sum subtract exactly.  ``min``/``max`` are
+    reported only when the window is known to own them (no prior data, or
+    the window moved the extreme) — the conservative ``None`` keeps a
+    serial fallback's pre-window extremes out of the shipped delta.
+    """
+    if before is None:
+        return after.snapshot() if after.count else None
+    moved = after.count - before.count
+    if not moved:
+        return None
+    buckets = {}
+    for idx, c in after.counts.items():
+        diff = c - before.counts.get(idx, 0)
+        if diff:
+            buckets[str(idx)] = diff
+    return {
+        "buckets": buckets,
+        "count": moved,
+        "sum": after.total - before.total,
+        "min": after.vmin if after.vmin < before.vmin else None,
+        "max": after.vmax if after.vmax > before.vmax else None,
+    }
 
 
 class Recorder:
@@ -247,6 +431,7 @@ class Recorder:
         self._spans: list[SpanRecord] = []
         self._counters: dict[tuple[str, tuple], float] = {}
         self._gauges: dict[tuple[str, tuple], float] = {}
+        self._histograms: dict[tuple[str, tuple], HistogramData] = {}
         self._sinks: list = []
         #: In-memory retention cap; completions beyond it are dropped (and
         #: counted in :attr:`dropped`) but still reach the sinks.
@@ -273,6 +458,7 @@ class Recorder:
             self._spans.clear()
             self._counters.clear()
             self._gauges.clear()
+            self._histograms.clear()
             self.dropped = 0
         self._tls = threading.local()
 
@@ -384,6 +570,47 @@ class Recorder:
         with self._lock:
             items = list(self._counters.items())
         return {render_counter_key(n, l): v for (n, l), v in sorted(items)}
+
+    # -- histograms ------------------------------------------------------
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one observation into a log-bucketed histogram."""
+        if not self.enabled:
+            return
+        key = (name, labels_key(labels))
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = HistogramData()
+            hist.observe(float(value))
+
+    def histogram(self, name: str, **labels) -> dict | None:
+        """Snapshot of one histogram, or ``None`` when never observed."""
+        with self._lock:
+            hist = self._histograms.get((name, labels_key(labels)))
+            return None if hist is None else hist.snapshot()
+
+    def histograms(self) -> dict[str, dict]:
+        """All histogram snapshots keyed by the rendered counter form."""
+        with self._lock:
+            items = [(key, hist.snapshot()) for key, hist in self._histograms.items()]
+        return {render_counter_key(n, l): snap for (n, l), snap in sorted(items)}
+
+    def percentile(self, name: str, q: float, **labels) -> float:
+        """The ``q``-quantile of one histogram (0.0 when never observed)."""
+        snap = self.histogram(name, **labels)
+        return 0.0 if snap is None else snapshot_percentile(snap, q)
+
+    def merge_histograms(self, delta: dict) -> None:
+        """Absorb histogram deltas exported by a :class:`Capture`."""
+        if not self.enabled or not delta:
+            return
+        with self._lock:
+            for key, snap in delta.items():
+                key = (key[0], tuple(tuple(p) for p in key[1]))
+                hist = self._histograms.get(key)
+                if hist is None:
+                    hist = self._histograms[key] = HistogramData()
+                hist.merge_snapshot(snap)
 
     def gauges(self) -> dict[str, float]:
         """Gauge snapshot keyed by the rendered form."""

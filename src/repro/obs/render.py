@@ -10,9 +10,15 @@ load_trace`), so it works identically on live recorders and loaded files.
 
 from __future__ import annotations
 
-from .recorder import Recorder
+from .recorder import Recorder, snapshot_percentile
 
-__all__ = ["render_span_tree", "render_counter_table", "summary"]
+__all__ = [
+    "histogram_digest",
+    "render_counter_table",
+    "render_histogram_table",
+    "render_span_tree",
+    "summary",
+]
 
 #: Span attributes shown inline in the tree (in this order, when present).
 _TREE_ATTRS = (
@@ -96,6 +102,55 @@ def render_counter_table(
     return "\n".join(f"{key:<{width}}  {value}{mark}" for key, value, mark in rows)
 
 
+def render_histogram_table(histograms: dict[str, dict]) -> str:
+    """Percentile table of histogram snapshots: count, p50/p90/p99, max.
+
+    ``histograms`` is the rendered-key snapshot form
+    (:meth:`~repro.obs.recorder.Recorder.histograms` or a loaded trace's
+    ``"histograms"``).  Values are formatted as durations — every shipped
+    histogram observes wall seconds.
+    """
+    rows = []
+    for key in sorted(histograms):
+        snap = histograms[key]
+        count = int(snap.get("count", 0))
+        vmax = snap.get("max")
+        rows.append((
+            key,
+            str(count),
+            _fmt_seconds(snapshot_percentile(snap, 0.50)),
+            _fmt_seconds(snapshot_percentile(snap, 0.90)),
+            _fmt_seconds(snapshot_percentile(snap, 0.99)),
+            _fmt_seconds(float(vmax)) if vmax is not None else "-",
+        ))
+    if not rows:
+        return "(no histograms recorded)"
+    header = ("histogram", "count", "p50", "p90", "p99", "max")
+    widths = [
+        max(len(header[i]), max(len(row[i]) for row in rows))
+        for i in range(len(header))
+    ]
+    def fmt(row):
+        return "  ".join(
+            (f"{row[0]:<{widths[0]}}",)
+            + tuple(f"{cell:>{widths[i]}}" for i, cell in enumerate(row) if i)
+        )
+    return "\n".join([fmt(header)] + [fmt(row) for row in rows])
+
+
+def histogram_digest(histograms: dict[str, dict]) -> dict:
+    """Compact per-histogram digest (count + p50/p90/p99) for metadata."""
+    return {
+        key: {
+            "count": int(snap.get("count", 0)),
+            "p50": round(snapshot_percentile(snap, 0.50), 9),
+            "p90": round(snapshot_percentile(snap, 0.90), 9),
+            "p99": round(snapshot_percentile(snap, 0.99), 9),
+        }
+        for key, snap in sorted(histograms.items())
+    }
+
+
 def summary(recorder: Recorder) -> dict:
     """Compact obs digest for ``BENCH_*.json`` stamping.
 
@@ -115,4 +170,5 @@ def summary(recorder: Recorder) -> dict:
         "root_span_seconds": round(root_seconds, 6),
         "counters": recorder.counters(),
         "gauges": recorder.gauges(),
+        "histograms": histogram_digest(recorder.histograms()),
     }

@@ -31,7 +31,13 @@ import json
 import os
 import threading
 
-from .recorder import Recorder, SpanRecord, parse_counter_key
+from .recorder import (
+    BUCKET_BOUNDS,
+    Recorder,
+    SpanRecord,
+    merge_histogram_snapshots,
+    parse_counter_key,
+)
 
 __all__ = [
     "JsonlSink",
@@ -74,12 +80,13 @@ class JsonlSink:
         self._write(record.to_dict())
 
     def flush(self, recorder: Recorder) -> None:
-        """Append a cumulative counters/gauges snapshot for this process."""
+        """Append a cumulative counters/gauges/histograms snapshot."""
         self._write({
             "type": "counters",
             "pid": os.getpid(),
             "counters": recorder.counters(),
             "gauges": recorder.gauges(),
+            "histograms": recorder.histograms(),
         })
 
     def close(self, recorder: Recorder | None = None) -> None:
@@ -117,17 +124,19 @@ def configure_trace(recorder: Recorder, path: str | None = None) -> JsonlSink | 
 
 def load_trace(path: str | os.PathLike) -> dict:
     """Parse a JSONL trace back into ``{"spans": [...], "counters": {...},
-    "gauges": {...}}``.
+    "gauges": {...}, "histograms": {...}}``.
 
-    Span lines are kept in file order.  Counter snapshots are cumulative
-    per process, so the last snapshot of each pid wins and distinct pids
-    are summed — a trace shared by a parent and its workers adds up
-    instead of double-counting.  Unparseable lines are skipped (a crashed
-    writer may leave a torn final line).
+    Span lines are kept in file order.  Counter/histogram snapshots are
+    cumulative per process, so the last snapshot of each pid wins and
+    distinct pids are summed (histograms merge bucket-for-bucket) — a
+    trace shared by a parent and its workers adds up instead of
+    double-counting.  Unparseable lines are skipped (a crashed writer may
+    leave a torn final line).
     """
     spans: list[dict] = []
     per_pid_counters: dict[int, dict] = {}
     per_pid_gauges: dict[int, dict] = {}
+    per_pid_histograms: dict[int, dict] = {}
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -144,6 +153,7 @@ def load_trace(path: str | os.PathLike) -> dict:
                 pid = int(data.get("pid", 0))
                 per_pid_counters[pid] = dict(data.get("counters") or {})
                 per_pid_gauges[pid] = dict(data.get("gauges") or {})
+                per_pid_histograms[pid] = dict(data.get("histograms") or {})
     counters: dict[str, float] = {}
     for snapshot in per_pid_counters.values():
         for key, value in snapshot.items():
@@ -151,7 +161,17 @@ def load_trace(path: str | os.PathLike) -> dict:
     gauges: dict[str, float] = {}
     for snapshot in per_pid_gauges.values():
         gauges.update(snapshot)
-    return {"spans": spans, "counters": counters, "gauges": gauges}
+    histograms: dict[str, dict] = {}
+    for snapshot in per_pid_histograms.values():
+        for key, snap in snapshot.items():
+            if key in histograms:
+                merge_histogram_snapshots(histograms[key], snap)
+            else:
+                histograms[key] = {**snap, "buckets": dict(snap.get("buckets") or {})}
+    return {
+        "spans": spans, "counters": counters, "gauges": gauges,
+        "histograms": histograms,
+    }
 
 
 def _metric_name(name: str, suffix: str) -> str:
@@ -176,20 +196,51 @@ def _exposition_lines(kind: str, suffix: str, snapshot: dict[str, float]) -> lis
     return lines
 
 
+def _histogram_exposition_lines(histograms: dict[str, dict]) -> list[str]:
+    """Prometheus histogram series: cumulative ``_bucket{le=}``, ``_sum``,
+    ``_count`` per label set, one ``# TYPE`` header per metric name."""
+    by_name: dict[str, list[tuple[tuple, dict]]] = {}
+    for key, snap in histograms.items():
+        name, labels = parse_counter_key(key)
+        by_name.setdefault(name, []).append((labels, snap))
+    lines = []
+    for name in sorted(by_name):
+        metric = _metric_name(name, "")
+        lines.append(f"# TYPE {metric} histogram")
+        for labels, snap in sorted(by_name[name], key=lambda item: item[0]):
+            label_text = ",".join(f'{k}="{v}"' for k, v in labels)
+            prefix = label_text + "," if label_text else ""
+            cumulative = 0
+            for idx in sorted(int(k) for k in (snap.get("buckets") or {})):
+                if idx >= len(BUCKET_BOUNDS):
+                    continue  # overflow folds into the +Inf line below
+                cumulative += int(snap["buckets"][str(idx)])
+                le = f"{BUCKET_BOUNDS[idx]:.9g}"
+                lines.append(f'{metric}_bucket{{{prefix}le="{le}"}} {cumulative}')
+            lines.append(f'{metric}_bucket{{{prefix}le="+Inf"}} {int(snap.get("count", 0))}')
+            suffix = f"{{{label_text}}}" if label_text else ""
+            lines.append(f"{metric}_sum{suffix} {float(snap.get('sum', 0.0)):g}")
+            lines.append(f"{metric}_count{suffix} {int(snap.get('count', 0))}")
+    return lines
+
+
 def prometheus_text(
     counters: dict[str, float] | None = None,
     gauges: dict[str, float] | None = None,
+    histograms: dict[str, dict] | None = None,
     *,
     recorder: Recorder | None = None,
 ) -> str:
-    """Prometheus-style text exposition of counters and gauges.
+    """Prometheus-style text exposition of counters, gauges and histograms.
 
     Pass a :class:`Recorder` to snapshot it, or pre-rendered ``counters``
-    / ``gauges`` dicts (e.g. from :func:`load_trace`).
+    / ``gauges`` / ``histograms`` dicts (e.g. from :func:`load_trace`).
     """
     if recorder is not None:
         counters = recorder.counters()
         gauges = recorder.gauges()
+        histograms = recorder.histograms()
     lines = _exposition_lines("counter", "_total", counters or {})
     lines += _exposition_lines("gauge", "", gauges or {})
+    lines += _histogram_exposition_lines(histograms or {})
     return "\n".join(lines) + ("\n" if lines else "")

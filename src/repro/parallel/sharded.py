@@ -55,6 +55,7 @@ import multiprocessing
 import os
 import shutil
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -205,12 +206,21 @@ def _cached_estimate(handle) -> np.ndarray:
     return _ATTACH_CACHE[key][0]
 
 
-def _round_worker(task) -> np.ndarray:
-    """Pool task: refresh one chunk of the frontier (read-only)."""
+def _round_worker(task):
+    """Pool task: refresh one chunk of the frontier (read-only).
+
+    Returns ``(values, spans, counters, histograms)`` — the refreshed
+    chunk plus the obs records captured while computing it (kernel spans,
+    dispatch counters, ``kernel.seconds`` observations), exported as plain
+    picklable data for the parent to adopt.  Capture *extracts*, so if the
+    pool degrades to in-process execution nothing records twice.
+    """
     graph_handle, est_handle, backend_name, vertices = task
     graph = _cached_graph(graph_handle)
     estimate = _cached_estimate(est_handle)
-    return get_backend(backend_name).hindex_fixpoint(graph, estimate, vertices)
+    with obs.capture() as cap:
+        values = get_backend(backend_name).hindex_fixpoint(graph, estimate, vertices)
+    return values, cap.spans, cap.counters, cap.histograms
 
 
 class _SerialRunner:
@@ -248,7 +258,15 @@ class _PoolRunner:
             (self.graph_handle, self.est_handle, self.backend_name, chunk)
             for chunk in chunks
         ]
-        return list(self.executor.map(_round_worker, tasks))
+        values = []
+        for chunk_values, spans, counters, histograms in self.executor.map(
+            _round_worker, tasks
+        ):
+            obs.adopt_spans(spans)
+            obs.merge_counters(counters)
+            obs.merge_histograms(histograms)
+            values.append(chunk_values)
+        return values
 
 
 # ----------------------------------------------------------------------
@@ -316,6 +334,7 @@ def _run_fixpoint(
     peak_entries = 0
     while active.size:
         rounds += 1
+        round_start = time.perf_counter()
         with obs.span("sharded:round", round=rounds, active=int(active.size)) as sp:
             chunks, peak = _split_chunks(active, ranges, indptr, cap_entries)
             peak_entries = max(peak_entries, peak)
@@ -332,6 +351,10 @@ def _run_fixpoint(
                     indptr, indices, estimate, changed, new_vals, cap_entries
                 )
                 peak_entries = max(peak_entries, peak)
+        obs.observe(
+            "parallel.round_seconds", time.perf_counter() - round_start,
+            engine="sharded", mode=runner.mode,
+        )
         if on_round_end is not None:
             on_round_end(rounds, estimate)
     return rounds, peak_entries

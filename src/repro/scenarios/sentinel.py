@@ -1,0 +1,209 @@
+"""Noise-aware regression sentinel over scenario suite reports.
+
+Compares a fresh suite report against a committed baseline and classifies
+each scenario.  Timing comparisons are deliberately forgiving — CI boxes
+are noisy and min-of-N on a seconds-scale workload still jitters — so a
+*regression* requires both of:
+
+* relative: ``current_min > baseline_min * (1 + rel_threshold)``, and
+* absolute: ``current_min - baseline_min > abs_floor`` seconds,
+
+which keeps microsecond-scale scenarios from tripping the relative gate
+on scheduler noise, and big scenarios from hiding real slowdowns under a
+generous absolute floor.  Structure checks are never forgiving: a schema
+mismatch, a scenario missing from the current run, or an unverified
+answer fails the comparison even in ``structure_only`` mode (the 1-CPU
+CI configuration, where timing verdicts are advisory).  The one
+exception is deliberate partial sweeps — a report stamped ``quick`` or
+``only`` owes coverage only for its declared selection, so the CI quick
+sweep compares cleanly against the full committed baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .registry import iter_scenarios
+from .runner import SCHEMA_VERSION
+
+__all__ = [
+    "ABS_FLOOR_SECONDS",
+    "REL_THRESHOLD",
+    "Comparison",
+    "ComparisonReport",
+    "baseline_from_results",
+    "compare_results",
+]
+
+#: Default relative slowdown tolerated before a scenario counts as
+#: regressed (50% — well above run-to-run jitter, well below the 2x
+#: slowdowns the sentinel exists to catch).
+REL_THRESHOLD = 0.5
+
+#: Default absolute floor in seconds: a "regression" smaller than this is
+#: indistinguishable from scheduler noise regardless of the ratio.
+ABS_FLOOR_SECONDS = 0.025
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Verdict for one scenario."""
+
+    scenario: str
+    #: ``ok`` / ``regressed`` / ``improved`` / ``new`` / ``missing``.
+    status: str
+    current_min: float | None = None
+    baseline_min: float | None = None
+    note: str = ""
+
+    @property
+    def ratio(self) -> float | None:
+        if not self.current_min or not self.baseline_min:
+            return None
+        return self.current_min / self.baseline_min
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Every per-scenario verdict plus the overall pass/fail."""
+
+    comparisons: tuple[Comparison, ...]
+    structure_errors: tuple[str, ...]
+    structure_only: bool
+
+    @property
+    def regressions(self) -> tuple[Comparison, ...]:
+        return tuple(c for c in self.comparisons if c.status == "regressed")
+
+    @property
+    def passed(self) -> bool:
+        if self.structure_errors:
+            return False
+        if self.structure_only:
+            return True
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = []
+        width = max((len(c.scenario) for c in self.comparisons), default=8)
+        for c in self.comparisons:
+            cur = f"{c.current_min:.3f}s" if c.current_min is not None else "-"
+            base = f"{c.baseline_min:.3f}s" if c.baseline_min is not None else "-"
+            ratio = f"{c.ratio:.2f}x" if c.ratio is not None else "    -"
+            mark = {"regressed": "!!", "improved": "++"}.get(c.status, "  ")
+            line = (
+                f"{mark} {c.scenario:<{width}}  {c.status:<9}  "
+                f"current {cur:>9}  baseline {base:>9}  {ratio}"
+            )
+            if c.note:
+                line += f"  ({c.note})"
+            lines.append(line)
+        for err in self.structure_errors:
+            lines.append(f"!! structure: {err}")
+        verdict = "PASS" if self.passed else "FAIL"
+        mode = " (structure-only: timing advisory)" if self.structure_only else ""
+        lines.append(f"{verdict}{mode}: {len(self.regressions)} regression(s), "
+                     f"{len(self.structure_errors)} structure error(s)")
+        return "\n".join(lines)
+
+
+def baseline_from_results(report: dict) -> dict:
+    """Distill a suite report into the committed baseline form.
+
+    Only the fields a future comparison needs survive: the schema
+    version, and per scenario the min wall seconds plus the graph size
+    (a changed generator config shows up as a changed n/m and earns a
+    note instead of a silent apples-to-oranges ratio).
+    """
+    scenarios = {}
+    for record in report.get("results", ()):
+        scenarios[record["scenario"]] = {
+            "min_seconds": record["wall_seconds"]["min"],
+            "median_seconds": record["wall_seconds"]["median"],
+            "n": record["n"],
+            "m": record["m"],
+        }
+    return {
+        "schema_version": report.get("schema_version", SCHEMA_VERSION),
+        "scenarios": scenarios,
+    }
+
+
+def _declared_selection(report: dict) -> set[str] | None:
+    """Scenario names a partial sweep declared, or ``None`` for a full one."""
+    only = report.get("only")
+    if only:
+        return set(only)
+    if report.get("quick"):
+        return {s.name for s in iter_scenarios(quick=True)}
+    return None
+
+
+def compare_results(
+    report: dict,
+    baseline: dict,
+    *,
+    rel_threshold: float = REL_THRESHOLD,
+    abs_floor: float = ABS_FLOOR_SECONDS,
+    structure_only: bool = False,
+) -> ComparisonReport:
+    """Compare a fresh suite report against a committed baseline."""
+    structure_errors = []
+    report_schema = report.get("schema_version")
+    baseline_schema = baseline.get("schema_version")
+    if report_schema != SCHEMA_VERSION:
+        structure_errors.append(
+            f"report schema_version {report_schema!r} != {SCHEMA_VERSION}"
+        )
+    if baseline_schema != SCHEMA_VERSION:
+        structure_errors.append(
+            f"baseline schema_version {baseline_schema!r} != {SCHEMA_VERSION}"
+        )
+
+    current = {r["scenario"]: r for r in report.get("results", ())}
+    known = dict(baseline.get("scenarios") or {})
+    # A report from a deliberate partial sweep (--quick or --only) only
+    # owes baseline coverage for its declared selection; a scenario it
+    # *did* select but failed to produce still counts as missing.
+    selection = _declared_selection(report)
+    if selection is not None:
+        known = {name: base for name, base in known.items() if name in selection}
+    comparisons = []
+
+    for name, record in current.items():
+        if not record.get("verified"):
+            structure_errors.append(f"scenario {name!r} ran unverified")
+        base = known.pop(name, None)
+        cur_min = record["wall_seconds"]["min"]
+        if base is None:
+            comparisons.append(Comparison(name, "new", current_min=cur_min))
+            continue
+        note = ""
+        if (record["n"], record["m"]) != (base.get("n"), base.get("m")):
+            note = (
+                f"graph changed: n/m {record['n']}/{record['m']} "
+                f"vs baseline {base.get('n')}/{base.get('m')}"
+            )
+        base_min = float(base["min_seconds"])
+        delta = cur_min - base_min
+        if cur_min > base_min * (1.0 + rel_threshold) and delta > abs_floor:
+            status = "regressed"
+        elif base_min > cur_min * (1.0 + rel_threshold) and -delta > abs_floor:
+            status = "improved"
+        else:
+            status = "ok"
+        comparisons.append(Comparison(name, status, cur_min, base_min, note))
+
+    for name, base in known.items():
+        # A baseline scenario the sweep no longer produces is a structure
+        # failure: silently dropping coverage is how sentinels go blind.
+        comparisons.append(
+            Comparison(name, "missing", baseline_min=float(base["min_seconds"]))
+        )
+        structure_errors.append(f"scenario {name!r} in baseline but not in run")
+
+    return ComparisonReport(
+        comparisons=tuple(comparisons),
+        structure_errors=tuple(structure_errors),
+        structure_only=structure_only,
+    )

@@ -144,3 +144,27 @@ class TestSeries:
         lines = path.read_text().splitlines()
         assert lines[0] == "series,x,y"
         assert len(lines) == 3
+
+
+class TestExecutionMetadata:
+    def test_obs_summary_snapshot_survives_reset(self):
+        """Regression: BENCH_*.json stamped "spans": 0 next to a nonzero
+        spans_per_run because the summary was read after obs.reset()."""
+        from repro import obs
+        from repro.bench.harness import execution_metadata
+
+        obs.reset()
+        with obs.span("bench:work"):
+            obs.add("bench.counter")
+        snapshot = obs.summary()
+        obs.reset()
+
+        stamped = execution_metadata(jobs=1, obs_summary=snapshot)
+        assert stamped["obs"]["spans"] == 1
+        assert stamped["obs"]["counters"] == {"bench.counter": 1}
+        # Without the snapshot the stamped block describes the empty
+        # recorder — exactly the bug this parameter exists to fix.
+        live = execution_metadata(jobs=1)
+        assert live["obs"]["spans"] == 0
+        obs.reset()
+        obs.enable()

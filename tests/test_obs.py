@@ -391,3 +391,236 @@ class TestIntegrationSurface:
             capture_output=True, text=True, cwd="/root/repo",
         )
         assert out.returncode == 0 and out.stdout.strip() == "ok"
+
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+
+from repro.obs import (  # noqa: E402  (grouped with the tests that use them)
+    BUCKET_BOUNDS,
+    merge_histogram_snapshots,
+    snapshot_percentile,
+)
+from repro.obs.recorder import OVERFLOW_BUCKET, bucket_index  # noqa: E402
+
+
+class TestHistogramBuckets:
+    def test_bounds_are_log_spaced_eight_per_decade(self):
+        step = 10.0 ** (1.0 / 8.0)
+        for lo, hi in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]):
+            assert hi / lo == pytest.approx(step, rel=1e-12)
+        assert BUCKET_BOUNDS[0] == pytest.approx(1e-7)
+        assert BUCKET_BOUNDS[-1] == pytest.approx(1e3)
+
+    def test_boundary_values_use_le_semantics(self):
+        # A value landing exactly on a bound belongs to that bound's bucket.
+        for i in (0, 1, 10, 40, len(BUCKET_BOUNDS) - 1):
+            assert bucket_index(BUCKET_BOUNDS[i]) == i
+        # Just above a bound spills into the next bucket up.
+        assert bucket_index(BUCKET_BOUNDS[10] * 1.000001) == 11
+        # Zero and negatives clamp into the first bucket; beyond the last
+        # bound goes to the overflow bucket.
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-1.0) == 0
+        assert bucket_index(BUCKET_BOUNDS[-1] * 2) == OVERFLOW_BUCKET
+
+    def test_snapshot_bucket_keys_are_bucket_indices(self):
+        for i in (0, 10, 40):
+            obs.observe("h.seconds", BUCKET_BOUNDS[i])
+        obs.observe("h.seconds", BUCKET_BOUNDS[-1] * 10)  # overflow
+        snap = obs.histogram("h.seconds")
+        assert snap["buckets"] == {"0": 1, "10": 1, "40": 1, str(OVERFLOW_BUCKET): 1}
+        assert snap["count"] == 4
+        assert snap["min"] == BUCKET_BOUNDS[0]
+        assert snap["max"] == BUCKET_BOUNDS[-1] * 10
+
+
+class TestHistogramPercentiles:
+    def test_constant_stream_recovers_exactly(self):
+        for _ in range(100):
+            obs.observe("h.seconds", 0.0123)
+        for q in (0.5, 0.9, 0.99):
+            # min == max, so the clamp makes every percentile exact even
+            # though 0.0123 is not a bucket bound.
+            assert obs.percentile("h.seconds", q) == 0.0123
+
+    def test_two_value_stream_percentiles(self):
+        lo, hi = BUCKET_BOUNDS[20], BUCKET_BOUNDS[60]
+        for _ in range(90):
+            obs.observe("h.seconds", lo)
+        for _ in range(10):
+            obs.observe("h.seconds", hi)
+        assert obs.percentile("h.seconds", 0.50) == lo
+        assert obs.percentile("h.seconds", 0.90) == lo   # rank 90 is the last lo
+        assert obs.percentile("h.seconds", 0.99) == hi
+        assert obs.percentile("h.seconds", 1.00) == hi
+
+    def test_percentile_error_bounded_by_bucket_width(self):
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(mean=-6.0, sigma=1.0, size=500)
+        for v in values:
+            obs.observe("h.seconds", float(v))
+        step = 10.0 ** (1.0 / 8.0)
+        for q in (0.5, 0.9, 0.99):
+            exact = float(np.quantile(values, q, method="inverted_cdf"))
+            got = obs.percentile("h.seconds", q)
+            assert exact / step <= got <= exact * step
+
+    def test_labels_separate_series(self):
+        obs.observe("h.seconds", 0.001, kernel="a")
+        obs.observe("h.seconds", 0.1, kernel="b")
+        assert obs.percentile("h.seconds", 0.5, kernel="a") == 0.001
+        assert obs.percentile("h.seconds", 0.5, kernel="b") == 0.1
+        assert set(obs.histograms()) == {
+            "h.seconds{kernel=a}", "h.seconds{kernel=b}",
+        }
+
+    def test_empty_histogram_percentile_is_zero(self):
+        assert obs.percentile("nope", 0.5) == 0.0
+        assert obs.histogram("nope") is None
+
+
+class TestHistogramRoundTrip:
+    def test_jsonl_round_trip_preserves_percentiles(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for i in range(50):
+            obs.observe("h.seconds", BUCKET_BOUNDS[10 + (i % 3)], kernel="peel")
+        sink = JsonlSink(path)
+        obs.get_recorder().add_sink(sink)
+        sink.flush(obs.get_recorder())
+        obs.get_recorder().remove_sink(sink)
+        sink.close()
+
+        data = load_trace(path)
+        key = "h.seconds{kernel=peel}"
+        assert data["histograms"][key] == obs.histogram("h.seconds", kernel="peel")
+        for q in (0.5, 0.9, 0.99):
+            assert snapshot_percentile(data["histograms"][key], q) == (
+                obs.percentile("h.seconds", q, kernel="peel")
+            )
+
+    def test_load_trace_sums_distinct_pids(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        snap = {"buckets": {"10": 3}, "count": 3, "sum": 0.3, "min": 0.1, "max": 0.1}
+        lines = [
+            {"type": "counters", "pid": 1, "counters": {}, "gauges": {},
+             "histograms": {"h.seconds": dict(snap, buckets={"10": 3})}},
+            # Cumulative per pid: the later snapshot of pid 1 must win...
+            {"type": "counters", "pid": 1, "counters": {}, "gauges": {},
+             "histograms": {"h.seconds": {"buckets": {"10": 5}, "count": 5,
+                                          "sum": 0.5, "min": 0.1, "max": 0.1}}},
+            # ...and a distinct pid's series must sum on top.
+            {"type": "counters", "pid": 2, "counters": {}, "gauges": {},
+             "histograms": {"h.seconds": {"buckets": {"10": 2, "12": 1},
+                                          "count": 3, "sum": 0.4,
+                                          "min": 0.05, "max": 0.2}}},
+        ]
+        path.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
+        merged = load_trace(path)["histograms"]["h.seconds"]
+        assert merged["buckets"] == {"10": 7, "12": 1}
+        assert merged["count"] == 8
+        assert merged["sum"] == pytest.approx(0.9)
+        assert merged["min"] == 0.05 and merged["max"] == 0.2
+
+    def test_prometheus_exposition_is_cumulative(self):
+        obs.observe("h.seconds", BUCKET_BOUNDS[10], kernel="peel")
+        obs.observe("h.seconds", BUCKET_BOUNDS[10], kernel="peel")
+        obs.observe("h.seconds", BUCKET_BOUNDS[12], kernel="peel")
+        obs.observe("h.seconds", BUCKET_BOUNDS[-1] * 5, kernel="peel")  # +Inf
+        text = prometheus_text(recorder=obs.get_recorder())
+        lines = [l for l in text.splitlines() if l.startswith("repro_h_seconds")]
+        le10 = f"{BUCKET_BOUNDS[10]:.9g}"
+        le12 = f"{BUCKET_BOUNDS[12]:.9g}"
+        assert f'repro_h_seconds_bucket{{kernel="peel",le="{le10}"}} 2' in lines
+        assert f'repro_h_seconds_bucket{{kernel="peel",le="{le12}"}} 3' in lines
+        assert 'repro_h_seconds_bucket{kernel="peel",le="+Inf"} 4' in lines
+        assert lines.count('repro_h_seconds_bucket{kernel="peel",le="+Inf"} 4') == 1
+        assert 'repro_h_seconds_count{kernel="peel"} 4' in lines
+        assert "# TYPE repro_h_seconds histogram" in text
+
+    def test_merge_histogram_snapshots_counts_sum(self):
+        into = {"buckets": {"3": 2}, "count": 2, "sum": 0.2, "min": 0.1, "max": 0.1}
+        merge_histogram_snapshots(
+            into,
+            {"buckets": {"3": 1, "7": 4}, "count": 5, "sum": 1.0,
+             "min": 0.01, "max": 0.5},
+        )
+        assert into["buckets"] == {"3": 3, "7": 4}
+        assert into["count"] == 7 and into["sum"] == pytest.approx(1.2)
+        assert into["min"] == 0.01 and into["max"] == 0.5
+
+
+class TestHistogramShipping:
+    def test_capture_extracts_and_reverts_histograms(self):
+        obs.observe("h.seconds", 0.01, kind="kept")
+        with obs.capture() as cap:
+            obs.observe("h.seconds", 0.02, kind="kept")
+            obs.observe("h.seconds", 0.03, kind="shipped")
+        # The window's observations were reverted from the recorder...
+        assert obs.histogram("h.seconds", kind="kept")["count"] == 1
+        assert obs.histogram("h.seconds", kind="shipped") is None
+        # ...and extracted as plain data keyed like counters.
+        deltas = {k: v["count"] for k, v in cap.histograms.items()}
+        assert deltas == {
+            ("h.seconds", (("kind", "kept"),)): 1,
+            ("h.seconds", (("kind", "shipped"),)): 1,
+        }
+        # Merging is the single re-entry point; counts are bit-accurate.
+        obs.merge_histograms(cap.histograms)
+        assert obs.histogram("h.seconds", kind="kept")["count"] == 2
+        assert obs.histogram("h.seconds", kind="shipped")["count"] == 1
+
+    def test_serial_fallback_never_double_records(self):
+        # Simulate a pool degrading to in-process execution: the worker
+        # body runs inside the parent recorder, captures, and the parent
+        # merges the shipped delta — each observation must count once.
+        def worker_body():
+            with obs.capture() as cap:
+                obs.observe("kernel.seconds", 0.005, backend="numpy", kernel="k")
+            return cap.histograms
+
+        shipped = worker_body()
+        obs.merge_histograms(shipped)
+        snap = obs.histogram("kernel.seconds", backend="numpy", kernel="k")
+        assert snap["count"] == 1
+
+    def test_prebuild_ships_worker_histograms(self, graph):
+        # jobs=2 prebuild: kernel latencies observed in pool workers (or
+        # in-process on serial degrade) must land in the parent recorder,
+        # with histogram counts exactly matching the dispatch counters.
+        index = BestKIndex(graph, jobs=2, store=False)
+        index.prebuild(("core",), problem2=True)
+        hists = obs.histograms()
+        kernel_hists = {k: v for k, v in hists.items() if k.startswith("kernel.seconds")}
+        assert kernel_hists, "no kernel latencies recorded"
+        for key, snap in kernel_hists.items():
+            counter_key = key.replace("kernel.seconds", "kernel.dispatch")
+            assert snap["count"] == obs.counters()[counter_key]
+
+    def test_sharded_rounds_observe_latencies(self, graph):
+        from repro.parallel.sharded import sharded_core_numbers
+
+        result = sharded_core_numbers(graph, jobs=1, backend="numpy")
+        snap = obs.histogram("parallel.round_seconds", engine="sharded", mode="serial")
+        assert snap is not None and snap["count"] == result.rounds
+
+
+class TestHistogramRendering:
+    def test_render_table_and_digest(self):
+        from repro.obs import histogram_digest, render_histogram_table
+
+        for _ in range(10):
+            obs.observe("h.seconds", 0.002, kernel="peel")
+        table = render_histogram_table(obs.histograms())
+        assert "h.seconds{kernel=peel}" in table
+        assert "p50" in table and "p99" in table
+        digest = histogram_digest(obs.histograms())
+        assert digest["h.seconds{kernel=peel}"]["count"] == 10
+        assert digest["h.seconds{kernel=peel}"]["p50"] == pytest.approx(0.002)
+        assert render_histogram_table({}) == "(no histograms recorded)"
+
+    def test_summary_carries_histogram_digest(self):
+        obs.observe("h.seconds", 0.5)
+        summary = obs.summary()
+        assert summary["histograms"]["h.seconds"]["count"] == 1

@@ -209,7 +209,7 @@ class TestSharedGraph:
 class TestWorker:
     def test_invalid_params_return_empty_payload(self, graph):
         handle = GraphHandle("pickle", arrays=(graph.indptr, graph.indices))
-        name, payloads, seconds, spans, counters = build_family_artifacts(
+        name, payloads, seconds, spans, counters, _ = build_family_artifacts(
             (handle, "weighted", {}, "numpy", ("decompose",))
         )
         assert name == "weighted" and payloads == {} and seconds == {}
@@ -217,7 +217,7 @@ class TestWorker:
 
     def test_worker_payload_round_trips(self, graph):
         handle = GraphHandle("pickle", arrays=(graph.indptr, graph.indices))
-        _, payloads, seconds, _, _ = build_family_artifacts(
+        _, payloads, seconds, _, _, _ = build_family_artifacts(
             (handle, "core", {}, "numpy", ("decompose", "order", "level_totals"))
         )
         assert set(payloads) == {"decompose", "order", "level_totals"}
